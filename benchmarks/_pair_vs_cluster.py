@@ -1,0 +1,94 @@
+"""Shared harness for the pair-based vs cluster-based comparison (Section 7.4).
+
+Figures 13, 14 and 15 of the paper all use the same experimental protocol:
+
+* generate the candidate pairs at likelihood threshold 0.2;
+* build cluster-based HITs with the two-tiered approach (k = 10), yielding
+  some number ``h`` of HITs;
+* build pair-based HITs containing enough pairs so that exactly ``h``
+  pair-based HITs are generated (constant cost across the two designs);
+* run both batches through the simulated crowd, with and without a
+  qualification test, and record per-assignment time, total completion time
+  and answer quality.
+
+This module is not collected by pytest (leading underscore); the three
+benchmark files import :func:`run_comparison` and report different columns
+of its output.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List
+
+from repro.aggregation.dawid_skene import DawidSkeneAggregator
+from repro.crowd.platform import SimulatedCrowdPlatform
+from repro.crowd.qualification import QualificationTest
+from repro.crowd.worker import WorkerPool
+from repro.evaluation.metrics import average_precision, precision_recall_curve
+from repro.hit.generator import get_cluster_generator
+from repro.hit.pair_generation import PairHITGenerator
+from repro.simjoin.likelihood import SimJoinLikelihood
+
+LIKELIHOOD_THRESHOLD = 0.2
+CLUSTER_SIZE = 10
+ASSIGNMENTS_PER_HIT = 3
+
+
+def _precision_at(curve, level):
+    eligible = [precision for recall, precision in curve if recall >= level - 1e-9]
+    return max(eligible) if eligible else 0.0
+
+
+def run_comparison(dataset, seed: int = 3) -> List[Dict[str, object]]:
+    """Run P-vs-C (with and without QT) on one dataset; one dict per config."""
+    estimator = SimJoinLikelihood()
+    pairs = estimator.estimate(
+        dataset.store,
+        min_likelihood=LIKELIHOOD_THRESHOLD,
+        cross_sources=dataset.cross_sources,
+    )
+
+    cluster_batch = get_cluster_generator("two-tiered", cluster_size=CLUSTER_SIZE).generate(pairs)
+    hit_budget = max(1, cluster_batch.hit_count)
+    pairs_per_hit = max(1, math.ceil(len(pairs) / hit_budget))
+    pair_batch = PairHITGenerator(pairs_per_hit=pairs_per_hit).generate(pairs)
+
+    configurations = [
+        (f"P{pairs_per_hit}", pair_batch, False),
+        (f"C{CLUSTER_SIZE}", cluster_batch, False),
+        (f"P{pairs_per_hit} (QT)", pair_batch, True),
+        (f"C{CLUSTER_SIZE} (QT)", cluster_batch, True),
+    ]
+
+    rows: List[Dict[str, object]] = []
+    for label, batch, use_qt in configurations:
+        platform = SimulatedCrowdPlatform(
+            pool=WorkerPool.build(seed=seed),
+            assignments_per_hit=ASSIGNMENTS_PER_HIT,
+            qualification=QualificationTest() if use_qt else None,
+            seed=seed,
+        )
+        run = platform.publish(batch, true_matches=dataset.ground_truth)
+        posteriors = DawidSkeneAggregator().aggregate(run.votes)
+        likelihoods = {pair.key: pair.likelihood or 0.0 for pair in pairs}
+        ranked = sorted(
+            likelihoods,
+            key=lambda key: (posteriors.get(key, -1.0), likelihoods[key]),
+            reverse=True,
+        )
+        curve = precision_recall_curve(ranked, dataset.ground_truth)
+        rows.append(
+            {
+                "config": label,
+                "hits": batch.hit_count,
+                "assignments": run.assignment_count,
+                "median_sec": round(run.latency.median_assignment_seconds, 1),
+                "total_min": round(run.latency.total_minutes, 1),
+                "cost($)": round(run.cost, 2),
+                "AP": average_precision(ranked, dataset.ground_truth),
+                "P@R>=0.5": _precision_at(curve, 0.5),
+                "P@R>=0.8": _precision_at(curve, 0.8),
+            }
+        )
+    return rows

@@ -1,0 +1,47 @@
+"""Figure 10: number of cluster-based HITs vs likelihood threshold (k = 10).
+
+Compares Random, DFS-based, BFS-based, the k-clique approximation and the
+two-tiered approach on the Restaurant and Product datasets, exactly the five
+series plotted in Figure 10 of the paper.
+"""
+
+from repro.evaluation.reporting import format_table
+from repro.hit.generator import get_cluster_generator
+from repro.simjoin.likelihood import SimJoinLikelihood
+
+ALGORITHMS = ["random", "dfs", "bfs", "approximation", "two-tiered"]
+THRESHOLDS = (0.5, 0.4, 0.3, 0.2, 0.1)
+CLUSTER_SIZE = 10
+
+
+def _hit_counts(dataset):
+    estimator = SimJoinLikelihood()
+    rows = []
+    for threshold in THRESHOLDS:
+        pairs = estimator.estimate(
+            dataset.store, min_likelihood=threshold, cross_sources=dataset.cross_sources
+        )
+        row = {"threshold": threshold, "pairs": len(pairs)}
+        for name in ALGORITHMS:
+            batch = get_cluster_generator(name, cluster_size=CLUSTER_SIZE).generate(pairs)
+            row[name] = batch.hit_count
+        rows.append(row)
+    return rows
+
+
+def test_fig10a_restaurant(benchmark, restaurant_dataset, report):
+    rows = benchmark.pedantic(_hit_counts, args=(restaurant_dataset,), rounds=1, iterations=1)
+    report(format_table(
+        rows,
+        columns=["threshold", "pairs"] + ALGORITHMS,
+        title="Figure 10(a) — Restaurant: cluster-based HITs vs likelihood threshold (k=10)",
+    ))
+
+
+def test_fig10b_product(benchmark, product_dataset, report):
+    rows = benchmark.pedantic(_hit_counts, args=(product_dataset,), rounds=1, iterations=1)
+    report(format_table(
+        rows,
+        columns=["threshold", "pairs"] + ALGORITHMS,
+        title="Figure 10(b) — Product: cluster-based HITs vs likelihood threshold (k=10)",
+    ))

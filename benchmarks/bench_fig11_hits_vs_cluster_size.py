@@ -1,0 +1,47 @@
+"""Figure 11: number of cluster-based HITs vs cluster-size threshold.
+
+Same five algorithms as Figure 10, with the likelihood threshold fixed at
+0.1 and the cluster-size threshold varied from 5 to 20.
+"""
+
+from repro.evaluation.reporting import format_table
+from repro.hit.generator import get_cluster_generator
+from repro.simjoin.likelihood import SimJoinLikelihood
+
+ALGORITHMS = ["random", "dfs", "bfs", "approximation", "two-tiered"]
+CLUSTER_SIZES = (5, 10, 15, 20)
+LIKELIHOOD_THRESHOLD = 0.1
+
+
+def _hit_counts(dataset):
+    pairs = SimJoinLikelihood().estimate(
+        dataset.store,
+        min_likelihood=LIKELIHOOD_THRESHOLD,
+        cross_sources=dataset.cross_sources,
+    )
+    rows = []
+    for cluster_size in CLUSTER_SIZES:
+        row = {"cluster_size": cluster_size, "pairs": len(pairs)}
+        for name in ALGORITHMS:
+            batch = get_cluster_generator(name, cluster_size=cluster_size).generate(pairs)
+            row[name] = batch.hit_count
+        rows.append(row)
+    return rows
+
+
+def test_fig11a_restaurant(benchmark, restaurant_dataset, report):
+    rows = benchmark.pedantic(_hit_counts, args=(restaurant_dataset,), rounds=1, iterations=1)
+    report(format_table(
+        rows,
+        columns=["cluster_size", "pairs"] + ALGORITHMS,
+        title="Figure 11(a) — Restaurant: cluster-based HITs vs cluster size (threshold=0.1)",
+    ))
+
+
+def test_fig11b_product(benchmark, product_dataset, report):
+    rows = benchmark.pedantic(_hit_counts, args=(product_dataset,), rounds=1, iterations=1)
+    report(format_table(
+        rows,
+        columns=["cluster_size", "pairs"] + ALGORITHMS,
+        title="Figure 11(b) — Product: cluster-based HITs vs cluster size (threshold=0.1)",
+    ))

@@ -1,0 +1,29 @@
+"""Figure 13: median completion time per assignment, pair vs cluster HITs.
+
+On the Product dataset (few duplicates) a cluster-based assignment takes a
+bit less time than a pair-based one; on Product+Dup (many duplicates) the
+difference is much larger because duplicates shrink the number of
+comparisons a cluster-based HIT needs (Section 6).
+"""
+
+from _pair_vs_cluster import run_comparison
+
+from repro.evaluation.reporting import format_table
+
+COLUMNS = ["config", "hits", "assignments", "median_sec"]
+
+
+def test_fig13a_product(benchmark, product_dataset, report):
+    rows = benchmark.pedantic(run_comparison, args=(product_dataset,), rounds=1, iterations=1)
+    report(format_table(
+        rows, columns=COLUMNS,
+        title="Figure 13(a) — Product: median completion time per assignment (seconds)",
+    ))
+
+
+def test_fig13b_product_dup(benchmark, product_dup_dataset, report):
+    rows = benchmark.pedantic(run_comparison, args=(product_dup_dataset,), rounds=1, iterations=1)
+    report(format_table(
+        rows, columns=COLUMNS,
+        title="Figure 13(b) — Product+Dup: median completion time per assignment (seconds)",
+    ))

@@ -1,0 +1,30 @@
+"""Figure 14: total time to complete all HITs, pair vs cluster.
+
+The crossover of the paper: on Product the pair-based batch finishes first
+(the familiar interface attracts more workers), while on Product+Dup the
+cluster-based batch wins (its assignments are much faster and the very
+large pair HITs needed to keep the HIT count equal deter workers).
+Qualification tests increase total time for both designs.
+"""
+
+from _pair_vs_cluster import run_comparison
+
+from repro.evaluation.reporting import format_table
+
+COLUMNS = ["config", "hits", "cost($)", "total_min"]
+
+
+def test_fig14a_product(benchmark, product_dataset, report):
+    rows = benchmark.pedantic(run_comparison, args=(product_dataset,), rounds=1, iterations=1)
+    report(format_table(
+        rows, columns=COLUMNS,
+        title="Figure 14(a) — Product: total completion time (minutes)",
+    ))
+
+
+def test_fig14b_product_dup(benchmark, product_dup_dataset, report):
+    rows = benchmark.pedantic(run_comparison, args=(product_dup_dataset,), rounds=1, iterations=1)
+    report(format_table(
+        rows, columns=COLUMNS,
+        title="Figure 14(b) — Product+Dup: total completion time (minutes)",
+    ))

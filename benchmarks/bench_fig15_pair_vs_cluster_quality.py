@@ -1,0 +1,28 @@
+"""Figure 15: result quality of pair-based vs cluster-based HITs.
+
+The paper finds the two HIT designs deliver similar quality; this benchmark
+reports average precision and precision at fixed recall levels for both
+designs, with and without a qualification test.
+"""
+
+from _pair_vs_cluster import run_comparison
+
+from repro.evaluation.reporting import format_table
+
+COLUMNS = ["config", "hits", "AP", "P@R>=0.5", "P@R>=0.8"]
+
+
+def test_fig15a_product(benchmark, product_dataset, report):
+    rows = benchmark.pedantic(run_comparison, args=(product_dataset,), rounds=1, iterations=1)
+    report(format_table(
+        rows, columns=COLUMNS,
+        title="Figure 15(a) — Product: quality of pair-based vs cluster-based HITs",
+    ))
+
+
+def test_fig15b_product_dup(benchmark, product_dup_dataset, report):
+    rows = benchmark.pedantic(run_comparison, args=(product_dup_dataset,), rounds=1, iterations=1)
+    report(format_table(
+        rows, columns=COLUMNS,
+        title="Figure 15(b) — Product+Dup: quality of pair-based vs cluster-based HITs",
+    ))

@@ -1,0 +1,33 @@
+"""Table 2: likelihood-threshold selection on Restaurant and Product.
+
+For each likelihood threshold the benchmark reports the number of surviving
+candidate pairs, how many of them are true matches, and the recall ceiling —
+the same three columns as Table 2(a)/(b) in the paper.
+"""
+
+from repro.evaluation.reporting import format_table
+from repro.evaluation.threshold_table import threshold_table
+
+THRESHOLDS = (0.5, 0.4, 0.3, 0.2, 0.1)
+
+
+def _rows(dataset):
+    return [row.as_dict() for row in threshold_table(dataset, thresholds=THRESHOLDS)]
+
+
+def test_table2a_restaurant(benchmark, restaurant_dataset, report):
+    rows = benchmark.pedantic(_rows, args=(restaurant_dataset,), rounds=1, iterations=1)
+    report(format_table(
+        rows,
+        columns=["threshold", "total_pairs", "matching_pairs", "recall"],
+        title="Table 2(a) — Restaurant: likelihood-threshold selection",
+    ))
+
+
+def test_table2b_product(benchmark, product_dataset_full, report):
+    rows = benchmark.pedantic(_rows, args=(product_dataset_full,), rounds=1, iterations=1)
+    report(format_table(
+        rows,
+        columns=["threshold", "total_pairs", "matching_pairs", "recall"],
+        title="Table 2(b) — Product: likelihood-threshold selection",
+    ))

@@ -1,0 +1,10 @@
+"""Setuptools entry point.
+
+A ``setup.py`` is kept alongside ``pyproject.toml`` so that the package can
+be installed in editable mode on offline machines whose setuptools/pip lack
+the ``wheel`` package required by PEP 517 editable builds.
+"""
+
+from setuptools import setup
+
+setup()

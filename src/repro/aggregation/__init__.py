@@ -1,0 +1,19 @@
+"""Answer aggregation for replicated crowd assignments.
+
+Each HIT is replicated into multiple assignments (three in the paper) done
+by different workers; the per-pair votes must be combined into a final
+decision and a confidence used to rank pairs.  The paper uses the EM-based
+algorithm of Dawid & Skene [9] because plain vote averaging is susceptible
+to spammers (Section 7.3); majority voting is provided as the simple
+baseline for the ablation benchmark.
+"""
+
+from repro.aggregation.majority import majority_vote, MajorityAggregator
+from repro.aggregation.dawid_skene import DawidSkeneAggregator, DawidSkeneResult
+
+__all__ = [
+    "majority_vote",
+    "MajorityAggregator",
+    "DawidSkeneAggregator",
+    "DawidSkeneResult",
+]

@@ -1,0 +1,162 @@
+"""Command-line interface for the CrowdER reproduction.
+
+Three subcommands expose the most common workflows without writing Python:
+
+* ``threshold-table`` — print the Table-2 likelihood/recall table for a
+  dataset.
+* ``generate-hits`` — run a cluster-based HIT generation algorithm and
+  report how many HITs it needs (the Figure-10/11 quantity).
+* ``resolve`` — run the full hybrid workflow against the simulated crowd
+  and print cost, latency and result quality.
+
+Examples::
+
+    python -m repro.cli threshold-table --dataset restaurant
+    python -m repro.cli generate-hits --dataset product --scale 0.2 \
+        --threshold 0.2 --algorithm two-tiered --cluster-size 10
+    python -m repro.cli resolve --dataset restaurant --threshold 0.35
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.core.config import WorkflowConfig
+from repro.core.workflow import HybridWorkflow
+from repro.datasets.base import Dataset
+from repro.datasets.product import load_product
+from repro.datasets.product_dup import load_product_dup
+from repro.datasets.restaurant import load_restaurant
+from repro.evaluation.metrics import f1_score, precision_recall
+from repro.evaluation.reporting import format_table
+from repro.evaluation.threshold_table import threshold_table
+from repro.hit.generator import available_generators, get_cluster_generator
+from repro.simjoin.likelihood import SimJoinLikelihood
+
+_DATASETS = ("restaurant", "product", "product-dup")
+
+
+def load_dataset(name: str, scale: float, seed: int) -> Dataset:
+    """Load one of the built-in datasets by name."""
+    if name == "restaurant":
+        return load_restaurant(seed=seed)
+    if name == "product":
+        return load_product(seed=seed, scale=scale)
+    if name == "product-dup":
+        return load_product_dup(seed=seed, product_scale=scale)
+    raise ValueError(f"unknown dataset {name!r}; choose from {_DATASETS}")
+
+
+def _add_dataset_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--dataset", choices=_DATASETS, default="restaurant",
+                        help="which built-in dataset to use")
+    parser.add_argument("--scale", type=float, default=0.35,
+                        help="scale of the Product-derived datasets (1.0 = paper size)")
+    parser.add_argument("--seed", type=int, default=7, help="dataset / crowd random seed")
+
+
+def _cmd_threshold_table(args: argparse.Namespace) -> int:
+    dataset = load_dataset(args.dataset, args.scale, args.seed)
+    rows = [row.as_dict() for row in threshold_table(dataset, thresholds=args.thresholds)]
+    print(format_table(
+        rows,
+        columns=["threshold", "total_pairs", "matching_pairs", "recall"],
+        title=f"Likelihood-threshold selection — {dataset.name} "
+              f"({dataset.record_count} records, {dataset.match_count} matches)",
+    ))
+    return 0
+
+
+def _cmd_generate_hits(args: argparse.Namespace) -> int:
+    dataset = load_dataset(args.dataset, args.scale, args.seed)
+    pairs = SimJoinLikelihood().estimate(
+        dataset.store, min_likelihood=args.threshold, cross_sources=dataset.cross_sources
+    )
+    rows = []
+    algorithms = args.algorithm or available_generators()
+    for name in algorithms:
+        batch = get_cluster_generator(name, cluster_size=args.cluster_size).generate(pairs)
+        rows.append({
+            "algorithm": name,
+            "pairs": len(pairs),
+            "hits": batch.hit_count,
+            "valid_cover": batch.is_valid_cover(),
+        })
+    print(format_table(
+        rows,
+        columns=["algorithm", "pairs", "hits", "valid_cover"],
+        title=f"Cluster-based HIT generation — {dataset.name}, "
+              f"threshold {args.threshold}, k={args.cluster_size}",
+    ))
+    return 0
+
+
+def _cmd_resolve(args: argparse.Namespace) -> int:
+    dataset = load_dataset(args.dataset, args.scale, args.seed)
+    config = WorkflowConfig(
+        likelihood_threshold=args.threshold,
+        hit_type=args.hit_type,
+        cluster_size=args.cluster_size,
+        pairs_per_hit=args.pairs_per_hit,
+        use_qualification_test=args.qualification_test,
+        seed=args.seed,
+    )
+    result = HybridWorkflow(config).resolve(dataset)
+    precision, recall = precision_recall(result.matches, dataset.ground_truth)
+    print(f"dataset            : {dataset.name} "
+          f"({dataset.record_count} records, {dataset.match_count} true matches)")
+    print(f"candidates         : {result.candidate_count}")
+    print(f"HITs / assignments : {result.hit_count} / {result.assignment_count} "
+          f"({result.generator_name})")
+    print(f"crowd cost         : ${result.cost:.2f}")
+    print(f"est. completion    : {result.latency.total_minutes:.0f} minutes")
+    print(f"matches found      : {len(result.matches)}")
+    print(f"precision / recall : {precision:.1%} / {recall:.1%} "
+          f"(F1 {f1_score(result.matches, dataset.ground_truth):.3f})")
+    print(f"recall ceiling     : {result.recall_ceiling:.1%}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the top-level argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro", description="CrowdER hybrid human-machine entity resolution"
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    table = subparsers.add_parser("threshold-table", help="print the Table-2 threshold/recall table")
+    _add_dataset_arguments(table)
+    table.add_argument("--thresholds", type=float, nargs="+", default=[0.5, 0.4, 0.3, 0.2, 0.1])
+    table.set_defaults(handler=_cmd_threshold_table)
+
+    hits = subparsers.add_parser("generate-hits", help="compare cluster-based HIT generators")
+    _add_dataset_arguments(hits)
+    hits.add_argument("--threshold", type=float, default=0.2, help="likelihood threshold")
+    hits.add_argument("--cluster-size", type=int, default=10, help="cluster-size threshold k")
+    hits.add_argument("--algorithm", action="append", choices=available_generators(),
+                      help="algorithm(s) to run (default: all)")
+    hits.set_defaults(handler=_cmd_generate_hits)
+
+    resolve = subparsers.add_parser("resolve", help="run the full hybrid workflow")
+    _add_dataset_arguments(resolve)
+    resolve.add_argument("--threshold", type=float, default=0.35, help="likelihood threshold")
+    resolve.add_argument("--hit-type", choices=("cluster", "pair"), default="cluster")
+    resolve.add_argument("--cluster-size", type=int, default=10)
+    resolve.add_argument("--pairs-per-hit", type=int, default=16)
+    resolve.add_argument("--qualification-test", action="store_true",
+                         help="require workers to pass a qualification test")
+    resolve.set_defaults(handler=_cmd_resolve)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

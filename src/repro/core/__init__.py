@@ -1,0 +1,26 @@
+"""The CrowdER core: the hybrid human-machine workflow (Figure 1).
+
+This package ties the substrates together into the workflow the paper
+proposes: machine-based likelihood estimation, likelihood-threshold pruning,
+HIT generation, (simulated) crowdsourcing, and answer aggregation into a
+ranked list of matching pairs.  Machine-only reference pipelines (simjoin
+and SVM ranking) are provided for the Figure-12 comparison, and a small
+CrowdSQL-style helper exposes the workflow as the ``~=`` self-join of the
+introduction.
+"""
+
+from repro.core.config import WorkflowConfig
+from repro.core.results import ResolutionResult
+from repro.core.workflow import HybridWorkflow
+from repro.core.baselines import SimJoinRanker, SVMRanker, human_only_hit_count
+from repro.core.crowdsql import crowd_equijoin
+
+__all__ = [
+    "WorkflowConfig",
+    "ResolutionResult",
+    "HybridWorkflow",
+    "SimJoinRanker",
+    "SVMRanker",
+    "human_only_hit_count",
+    "crowd_equijoin",
+]

@@ -1,0 +1,57 @@
+"""Configuration of the hybrid workflow."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+
+@dataclass
+class WorkflowConfig:
+    """All knobs of one hybrid-workflow run.
+
+    Attributes mirror the experimental setup of Section 7:
+
+    * ``likelihood_threshold`` — the machine pruning threshold (0.35 for
+      Restaurant, 0.2 for Product in the paper).
+    * ``hit_type`` — ``"cluster"`` (the paper's default) or ``"pair"``.
+    * ``cluster_size`` — the cluster-size threshold ``k`` (10 in the paper).
+    * ``pairs_per_hit`` — pair-based batching size (only for pair HITs).
+    * ``cluster_generator`` — ``"two-tiered"``, ``"bfs"``, ``"dfs"``,
+      ``"random"`` or ``"approximation"``.
+    * ``assignments_per_hit`` — replication factor (3 in the paper).
+    * ``use_qualification_test`` — whether workers must pass the test.
+    * ``aggregation`` — ``"dawid-skene"`` (the paper) or ``"majority"``.
+    * ``similarity_attributes`` — attributes pooled by the simjoin
+      likelihood (``None`` = all).
+    * ``seed`` — seed for the crowd simulation.
+    """
+
+    likelihood_threshold: float = 0.2
+    hit_type: str = "cluster"
+    cluster_size: int = 10
+    pairs_per_hit: int = 16
+    cluster_generator: str = "two-tiered"
+    packing_method: str = "column-generation"
+    assignments_per_hit: int = 3
+    use_qualification_test: bool = False
+    aggregation: str = "dawid-skene"
+    similarity_attributes: Optional[Sequence[str]] = None
+    decision_threshold: float = 0.5
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.likelihood_threshold <= 1.0:
+            raise ValueError("likelihood_threshold must be in [0, 1]")
+        if self.hit_type not in ("pair", "cluster"):
+            raise ValueError("hit_type must be 'pair' or 'cluster'")
+        if self.cluster_size < 2:
+            raise ValueError("cluster_size must be at least 2")
+        if self.pairs_per_hit < 1:
+            raise ValueError("pairs_per_hit must be at least 1")
+        if self.assignments_per_hit < 1:
+            raise ValueError("assignments_per_hit must be at least 1")
+        if self.aggregation not in ("dawid-skene", "majority"):
+            raise ValueError("aggregation must be 'dawid-skene' or 'majority'")
+        if not 0.0 <= self.decision_threshold <= 1.0:
+            raise ValueError("decision_threshold must be in [0, 1]")

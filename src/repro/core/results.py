@@ -1,0 +1,67 @@
+"""Result object returned by a hybrid-workflow run."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.crowd.latency import LatencyEstimate
+
+PairKey = Tuple[str, str]
+
+
+@dataclass
+class ResolutionResult:
+    """Everything a hybrid-workflow run produced.
+
+    Attributes
+    ----------
+    ranked_pairs:
+        Candidate pairs ordered from most to least likely match (crowd
+        posterior first, machine likelihood as tie-breaker).  This is the
+        ranked list the precision-recall evaluation consumes.
+    matches:
+        Pairs whose aggregated posterior exceeds the decision threshold —
+        the workflow's final answer (Figure 2(c)).
+    posteriors:
+        Aggregated per-pair match probability.
+    likelihoods:
+        Machine likelihood of every candidate pair sent to the crowd.
+    candidate_count:
+        Number of pairs that survived machine pruning.
+    hit_count / assignment_count:
+        Crowd workload.
+    cost:
+        Dollar cost under the pricing model.
+    latency:
+        Latency estimate of the crowd run (None for machine-only runs).
+    recall_ceiling:
+        Fraction of ground-truth matches that survived pruning — the best
+        recall the crowd phase can possibly achieve (needs ground truth;
+        None if unknown).
+    """
+
+    ranked_pairs: List[PairKey] = field(default_factory=list)
+    matches: List[PairKey] = field(default_factory=list)
+    posteriors: Dict[PairKey, float] = field(default_factory=dict)
+    likelihoods: Dict[PairKey, float] = field(default_factory=dict)
+    candidate_count: int = 0
+    hit_count: int = 0
+    assignment_count: int = 0
+    cost: float = 0.0
+    latency: Optional[LatencyEstimate] = None
+    recall_ceiling: Optional[float] = None
+    generator_name: str = ""
+
+    def summary(self) -> Dict[str, object]:
+        """Compact dictionary summary used by reports and examples."""
+        return {
+            "candidates": self.candidate_count,
+            "hits": self.hit_count,
+            "assignments": self.assignment_count,
+            "cost_dollars": round(self.cost, 2),
+            "matches": len(self.matches),
+            "total_minutes": round(self.latency.total_minutes, 1) if self.latency else None,
+            "recall_ceiling": self.recall_ceiling,
+            "generator": self.generator_name,
+        }

@@ -1,0 +1,151 @@
+"""The hybrid human-machine entity-resolution workflow (Figure 1).
+
+``HybridWorkflow.resolve`` runs the full pipeline on a dataset:
+
+1. **Machine pass** — the likelihood estimator scores candidate pairs and
+   pairs below the likelihood threshold are pruned.
+2. **HIT generation** — the surviving pairs are grouped into pair-based or
+   cluster-based HITs.
+3. **Crowdsourcing** — the (simulated) platform replicates every HIT into
+   assignments and collects per-pair votes.
+4. **Aggregation** — votes are combined (Dawid-Skene EM by default) into a
+   match posterior per pair, producing the ranked list and the final match
+   set.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Optional, Tuple
+
+from repro.aggregation.dawid_skene import DawidSkeneAggregator
+from repro.aggregation.majority import MajorityAggregator
+from repro.core.config import WorkflowConfig
+from repro.core.results import ResolutionResult
+from repro.crowd.latency import LatencyModel
+from repro.crowd.platform import SimulatedCrowdPlatform
+from repro.crowd.pricing import PricingModel
+from repro.crowd.qualification import QualificationTest
+from repro.crowd.worker import WorkerPool
+from repro.datasets.base import Dataset
+from repro.hit.generator import get_cluster_generator
+from repro.hit.pair_generation import PairHITGenerator
+from repro.records.pairs import PairSet, canonical_pair
+from repro.records.record import RecordStore
+from repro.simjoin.likelihood import LikelihoodEstimator, SimJoinLikelihood
+
+PairKey = Tuple[str, str]
+
+
+class HybridWorkflow:
+    """The CrowdER hybrid workflow over a simulated crowd.
+
+    Parameters
+    ----------
+    config:
+        The workflow configuration (thresholds, HIT type, aggregation, ...).
+    estimator:
+        Machine likelihood estimator; defaults to the paper's simjoin.
+    platform:
+        Crowd platform; defaults to a simulated platform built from the
+        config (worker pool, qualification test, pricing, latency model).
+    """
+
+    def __init__(
+        self,
+        config: Optional[WorkflowConfig] = None,
+        estimator: Optional[LikelihoodEstimator] = None,
+        platform: Optional[SimulatedCrowdPlatform] = None,
+        worker_pool: Optional[WorkerPool] = None,
+        pricing: Optional[PricingModel] = None,
+        latency: Optional[LatencyModel] = None,
+    ) -> None:
+        self.config = config or WorkflowConfig()
+        self.estimator = estimator or SimJoinLikelihood(
+            attributes=self.config.similarity_attributes
+        )
+        if platform is not None:
+            self.platform = platform
+        else:
+            qualification = QualificationTest() if self.config.use_qualification_test else None
+            self.platform = SimulatedCrowdPlatform(
+                pool=worker_pool or WorkerPool.build(seed=self.config.seed),
+                assignments_per_hit=self.config.assignments_per_hit,
+                qualification=qualification,
+                pricing=pricing,
+                latency=latency,
+                seed=self.config.seed,
+            )
+
+    # -------------------------------------------------------------- stages
+    def machine_candidates(self, dataset: Dataset) -> PairSet:
+        """Stage 1: machine likelihoods plus threshold pruning."""
+        return self.estimator.estimate(
+            dataset.store,
+            min_likelihood=self.config.likelihood_threshold,
+            cross_sources=dataset.cross_sources,
+        )
+
+    def generate_hits(self, candidates: PairSet):
+        """Stage 2: batch the surviving pairs into HITs."""
+        if self.config.hit_type == "pair":
+            generator = PairHITGenerator(pairs_per_hit=self.config.pairs_per_hit)
+            return generator.generate(candidates)
+        generator = get_cluster_generator(
+            self.config.cluster_generator,
+            cluster_size=self.config.cluster_size,
+            **(
+                {"packing_method": self.config.packing_method}
+                if self.config.cluster_generator == "two-tiered"
+                else {}
+            ),
+        )
+        return generator.generate(candidates)
+
+    def _aggregator(self):
+        if self.config.aggregation == "majority":
+            return MajorityAggregator()
+        return DawidSkeneAggregator()
+
+    # ----------------------------------------------------------------- run
+    def resolve(self, dataset: Dataset) -> ResolutionResult:
+        """Run the full workflow on a dataset and return the result."""
+        candidates = self.machine_candidates(dataset)
+        batch = self.generate_hits(candidates)
+        crowd_run = self.platform.publish(batch, true_matches=dataset.ground_truth)
+        posteriors = self._aggregator().aggregate(crowd_run.votes)
+
+        likelihoods: Dict[PairKey, float] = {
+            pair.key: pair.likelihood or 0.0 for pair in candidates
+        }
+        # Pairs the crowd never voted on (possible when a cluster HIT omits a
+        # candidate pair that another HIT was supposed to cover) fall back to
+        # the machine likelihood scaled below any crowd-confirmed pair.
+        ranked = sorted(
+            likelihoods,
+            key=lambda key: (posteriors.get(key, -1.0), likelihoods[key]),
+            reverse=True,
+        )
+        matches = [
+            key
+            for key in ranked
+            if posteriors.get(key, 0.0) > self.config.decision_threshold
+        ]
+
+        recall_ceiling = None
+        if dataset.ground_truth:
+            surviving = candidates.intersection_keys(dataset.ground_truth)
+            recall_ceiling = len(surviving) / len(dataset.ground_truth)
+
+        return ResolutionResult(
+            ranked_pairs=ranked,
+            matches=matches,
+            posteriors=dict(posteriors),
+            likelihoods=likelihoods,
+            candidate_count=len(candidates),
+            hit_count=batch.hit_count,
+            assignment_count=crowd_run.assignment_count,
+            cost=crowd_run.cost,
+            latency=crowd_run.latency,
+            recall_ceiling=recall_ceiling,
+            generator_name=batch.generator_name,
+        )

@@ -1,0 +1,176 @@
+"""The simulated crowdsourcing marketplace.
+
+:class:`SimulatedCrowdPlatform` plays the role of AMT in the experiments: it
+takes a :class:`~repro.hit.base.HITBatch`, replicates every HIT into a
+number of assignments (three in the paper), assigns each to a distinct
+simulated worker, collects the per-pair votes and reports cost and latency.
+Because workers are simulated, the platform needs the ground-truth matches
+to generate (noisy) answers — this is the "simulate the crowd from the
+labels" substitution documented in DESIGN.md.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.crowd.latency import LatencyEstimate, LatencyModel
+from repro.crowd.pricing import PricingModel
+from repro.crowd.qualification import QualificationTest
+from repro.crowd.worker import Worker, WorkerPool
+from repro.hit.base import ClusterBasedHIT, HITBatch, PairBasedHIT
+from repro.records.pairs import canonical_pair
+
+Vote = Tuple[str, Tuple[str, str], bool]
+
+
+@dataclass
+class CrowdRunResult:
+    """Everything a simulated crowd run produced."""
+
+    votes: List[Vote] = field(default_factory=list)
+    assignment_seconds: List[float] = field(default_factory=list)
+    cost: float = 0.0
+    latency: Optional[LatencyEstimate] = None
+    hit_count: int = 0
+    assignments_per_hit: int = 3
+    qualified_worker_count: int = 0
+    rejected_worker_count: int = 0
+
+    @property
+    def assignment_count(self) -> int:
+        """Total number of completed assignments."""
+        return self.hit_count * self.assignments_per_hit
+
+    def votes_by_pair(self) -> Dict[Tuple[str, str], List[bool]]:
+        """Group the raw answers by pair key."""
+        grouped: Dict[Tuple[str, str], List[bool]] = {}
+        for _worker, pair_key, answer in self.votes:
+            grouped.setdefault(pair_key, []).append(answer)
+        return grouped
+
+
+class SimulatedCrowdPlatform:
+    """AMT stand-in: publishes HIT batches to a pool of simulated workers.
+
+    Parameters
+    ----------
+    pool:
+        The worker pool; defaults to a 60-worker pool with the standard
+        reliability mix.
+    assignments_per_hit:
+        Replication factor (3 in the paper).
+    qualification:
+        Optional qualification test; when given, only workers that pass it
+        are allowed to do assignments.
+    pricing / latency:
+        Cost and latency models.
+    seed:
+        Seed of the worker-selection RNG.
+    """
+
+    def __init__(
+        self,
+        pool: Optional[WorkerPool] = None,
+        assignments_per_hit: int = 3,
+        qualification: Optional[QualificationTest] = None,
+        pricing: Optional[PricingModel] = None,
+        latency: Optional[LatencyModel] = None,
+        seed: int = 0,
+    ) -> None:
+        if assignments_per_hit < 1:
+            raise ValueError("assignments_per_hit must be at least 1")
+        self.pool = pool or WorkerPool.build(seed=seed)
+        self.assignments_per_hit = assignments_per_hit
+        self.qualification = qualification
+        self.pricing = pricing or PricingModel()
+        self.latency = latency or LatencyModel()
+        self.seed = seed
+        self._rejected_count = 0
+        self._eligible = self._determine_eligible_workers()
+
+    def _determine_eligible_workers(self) -> List[Worker]:
+        if self.qualification is None:
+            return self.pool.workers
+        qualified, rejected = self.qualification.filter_pool(self.pool)
+        self._rejected_count = len(rejected)
+        if not qualified:
+            # Degenerate configuration (everyone failed); fall back to the
+            # full pool so the simulation can still proceed.
+            return self.pool.workers
+        return qualified
+
+    # ----------------------------------------------------------------- run
+    def publish(
+        self,
+        batch: HITBatch,
+        true_matches: Iterable[Tuple[str, str]],
+        candidate_pairs: Optional[Iterable[Tuple[str, str]]] = None,
+    ) -> CrowdRunResult:
+        """Run every HIT of the batch through ``assignments_per_hit`` workers.
+
+        ``true_matches`` is the ground truth used to simulate answers.
+        ``candidate_pairs`` restricts which pairs of a cluster-based HIT
+        produce votes (by default the batch's own candidate set is used, so
+        only machine-suggested pairs are recorded — exactly the pairs the
+        workflow needs verified).
+        """
+        truth: Set[Tuple[str, str]] = {canonical_pair(a, b) for a, b in true_matches}
+        candidates = (
+            {canonical_pair(a, b) for a, b in candidate_pairs}
+            if candidate_pairs is not None
+            else set(batch.candidate_pairs)
+        )
+        rng = random.Random(self.seed)
+        result = CrowdRunResult(
+            hit_count=batch.hit_count,
+            assignments_per_hit=self.assignments_per_hit,
+            qualified_worker_count=len(self._eligible) if self.qualification else 0,
+            rejected_worker_count=self._rejected_count,
+        )
+
+        pairs_per_hit = None
+        if batch.hit_type == "pair" and batch.hits:
+            pairs_per_hit = max(hit.size for hit in batch.hits)  # type: ignore[attr-defined]
+
+        for hit in batch.hits:
+            workers = self._pick_workers(rng)
+            for worker in workers:
+                if isinstance(hit, PairBasedHIT):
+                    answers = worker.do_pair_hit(hit.pairs, truth)
+                    seconds = self.latency.pair_assignment_seconds(
+                        hit.size, qualified=self.qualification is not None
+                    )
+                elif isinstance(hit, ClusterBasedHIT):
+                    answers = worker.do_cluster_hit(hit.records, truth)
+                    seconds = self.latency.cluster_assignment_seconds(
+                        getattr(worker, "last_comparisons", hit.size * (hit.size - 1) // 2),
+                        qualified=self.qualification is not None,
+                    )
+                    # Only report votes for the machine-suggested candidates.
+                    answers = {key: value for key, value in answers.items() if key in candidates}
+                else:  # pragma: no cover - defensive
+                    raise TypeError(f"unsupported HIT type: {type(hit)!r}")
+                worker.completed_assignments += 1
+                result.assignment_seconds.append(seconds)
+                for pair_key, answer in answers.items():
+                    result.votes.append((worker.worker_id, pair_key, answer))
+
+        result.cost = self.pricing.total_cost(batch.hit_count, self.assignments_per_hit)
+        result.latency = self.latency.estimate(
+            result.assignment_seconds,
+            hit_type=batch.hit_type,
+            pairs_per_hit=pairs_per_hit,
+            qualification=self.qualification is not None,
+        )
+        return result
+
+    def _pick_workers(self, rng: random.Random) -> List[Worker]:
+        """Pick ``assignments_per_hit`` distinct workers for one HIT."""
+        if len(self._eligible) >= self.assignments_per_hit:
+            return rng.sample(self._eligible, self.assignments_per_hit)
+        # Fewer eligible workers than assignments: reuse workers (AMT would
+        # simply leave assignments unfilled; reusing keeps the simulation
+        # simple and is noted in DESIGN.md).
+        return [rng.choice(self._eligible) for _ in range(self.assignments_per_hit)]

@@ -1,0 +1,48 @@
+"""Crowdsourcing cost model.
+
+The paper pays workers $0.02 per completed HIT plus a $0.005 platform fee
+for publishing each HIT, and replicates every HIT into three assignments, so
+e.g. the Restaurant experiment costs 112 * 3 * $0.025 = $8.40 and the
+Product experiment 508 * 3 * $0.025 = $38.10 (Section 7.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class PricingModel:
+    """Per-assignment pricing: worker reward plus platform fee."""
+
+    reward_per_assignment: float = 0.02
+    platform_fee_per_assignment: float = 0.005
+
+    def __post_init__(self) -> None:
+        if self.reward_per_assignment < 0 or self.platform_fee_per_assignment < 0:
+            raise ValueError("prices must be non-negative")
+
+    @property
+    def cost_per_assignment(self) -> float:
+        """Total cost of one assignment (reward + fee)."""
+        return self.reward_per_assignment + self.platform_fee_per_assignment
+
+    def assignment_count(self, hit_count: int, assignments_per_hit: int) -> int:
+        """Total number of assignments for a batch."""
+        if hit_count < 0 or assignments_per_hit < 1:
+            raise ValueError("hit_count must be >= 0 and assignments_per_hit >= 1")
+        return hit_count * assignments_per_hit
+
+    def total_cost(self, hit_count: int, assignments_per_hit: int = 3) -> float:
+        """Total dollar cost of publishing and paying for a batch."""
+        return self.assignment_count(hit_count, assignments_per_hit) * self.cost_per_assignment
+
+    def naive_pair_cost(self, record_count: int, pairs_per_hit: int, assignments_per_hit: int = 1) -> float:
+        """Cost of the naive human-only approach over all n*(n-1)/2 pairs.
+
+        This is the back-of-envelope number the introduction uses to argue
+        that batching alone does not make crowdsourced ER affordable.
+        """
+        total_pairs = record_count * (record_count - 1) // 2
+        hit_count = -(-total_pairs // pairs_per_hit)  # ceiling division
+        return self.total_cost(hit_count, assignments_per_hit)

@@ -1,0 +1,51 @@
+"""Qualification tests (Section 7.1).
+
+Before doing real HITs, each worker answers a small fixed set of record
+pairs and is admitted only if *all* answers are correct.  Spammers are very
+likely to fail (a random answerer passes a three-question test with
+probability 1/8) and honest workers are nudged to read the instructions more
+carefully, which the worker model captures with a carefulness boost.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.crowd.worker import Worker, WorkerPool
+
+
+class QualificationTest:
+    """A pass/fail test of ``question_count`` pairwise questions."""
+
+    def __init__(self, question_count: int = 3, require_all_correct: bool = True) -> None:
+        if question_count < 1:
+            raise ValueError("question_count must be at least 1")
+        self.question_count = question_count
+        self.require_all_correct = require_all_correct
+
+    def administer(self, worker: Worker) -> bool:
+        """Run the test for one worker; marks and returns qualification."""
+        # Alternate true answers so "always-yes"/"always-no" spammers cannot
+        # pass by constant answering.
+        correct = 0
+        for question_index in range(self.question_count):
+            truth = question_index % 2 == 0
+            if worker.answer_comparison(truth) == truth:
+                correct += 1
+        if self.require_all_correct:
+            passed = correct == self.question_count
+        else:
+            passed = correct > self.question_count / 2
+        worker.qualified = passed
+        return passed
+
+    def filter_pool(self, pool: WorkerPool) -> Tuple[List[Worker], List[Worker]]:
+        """Administer the test to a pool; return (qualified, rejected)."""
+        qualified: List[Worker] = []
+        rejected: List[Worker] = []
+        for worker in pool:
+            if self.administer(worker):
+                qualified.append(worker)
+            else:
+                rejected.append(worker)
+        return qualified, rejected

@@ -1,0 +1,59 @@
+"""Plain-text report formatting for benchmark output.
+
+The benchmark harness prints the same rows / series the paper's tables and
+figures report; these helpers render them as aligned text tables so the
+output of ``pytest benchmarks/`` is directly comparable with the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Mapping, Sequence, Tuple
+
+
+def format_table(
+    rows: Sequence[Mapping[str, object]],
+    columns: Sequence[str],
+    title: str = "",
+    float_format: str = "{:.3f}",
+) -> str:
+    """Render dict rows as an aligned text table."""
+    rendered_rows: List[List[str]] = []
+    for row in rows:
+        rendered: List[str] = []
+        for column in columns:
+            value = row.get(column, "")
+            if isinstance(value, float):
+                rendered.append(float_format.format(value))
+            else:
+                rendered.append(str(value))
+        rendered_rows.append(rendered)
+    widths = [
+        max(len(column), *(len(row[index]) for row in rendered_rows)) if rendered_rows else len(column)
+        for index, column in enumerate(columns)
+    ]
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header = "  ".join(column.ljust(widths[index]) for index, column in enumerate(columns))
+    lines.append(header)
+    lines.append("  ".join("-" * width for width in widths))
+    for row in rendered_rows:
+        lines.append("  ".join(cell.ljust(widths[index]) for index, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def format_pr_curve(
+    curve: Iterable[Tuple[float, float]],
+    label: str,
+    recall_levels: Sequence[float] = (0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0),
+) -> str:
+    """Summarise a PR curve at fixed recall levels (one line per level)."""
+    curve = list(curve)
+    lines = [f"precision-recall curve: {label}"]
+    for level in recall_levels:
+        eligible = [precision for recall, precision in curve if recall >= level - 1e-9]
+        if eligible:
+            lines.append(f"  recall>={level:.1f}: precision {max(eligible) * 100:6.1f}%")
+        else:
+            lines.append(f"  recall>={level:.1f}: unreachable")
+    return "\n".join(lines)

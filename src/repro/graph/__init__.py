@@ -1,0 +1,22 @@
+"""Lightweight undirected-graph substrate used by HIT generation.
+
+The cluster-based HIT generation algorithms of the paper (Sections 4 and 5)
+operate on the *pair graph*: vertices are records, edges are the candidate
+pairs that survived likelihood pruning.  This package provides the graph
+data structure, connected-component extraction and BFS/DFS traversals the
+two-tiered approach and its baselines need.  It is implemented from scratch
+(rather than relying on networkx) so the algorithms can be followed line by
+line against the pseudo-code in the paper.
+"""
+
+from repro.graph.graph import Graph
+from repro.graph.components import connected_components, split_components_by_size
+from repro.graph.traversal import bfs_order, dfs_order
+
+__all__ = [
+    "Graph",
+    "connected_components",
+    "split_components_by_size",
+    "bfs_order",
+    "dfs_order",
+]

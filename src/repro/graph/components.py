@@ -1,0 +1,61 @@
+"""Connected-component extraction and size-based classification.
+
+The two-tiered approach (Section 5.1) first splits the pair graph into
+connected components and classifies them into *small* connected components
+(SCCs, at most ``k`` vertices — they already fit into one cluster-based HIT)
+and *large* connected components (LCCs, more than ``k`` vertices — they must
+be partitioned by the top tier).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import List, Tuple
+
+from repro.graph.graph import Graph
+
+
+def connected_components(graph: Graph) -> List[List[str]]:
+    """Return the connected components as lists of vertex ids.
+
+    Components are discovered in vertex insertion order and vertices inside
+    each component are listed in BFS order from the first-seen vertex, so
+    the output is deterministic.
+    """
+    visited = set()
+    components: List[List[str]] = []
+    for start in graph.vertices():
+        if start in visited:
+            continue
+        component: List[str] = []
+        queue = deque([start])
+        visited.add(start)
+        while queue:
+            vertex = queue.popleft()
+            component.append(vertex)
+            for neighbour in graph.neighbors(vertex):
+                if neighbour not in visited:
+                    visited.add(neighbour)
+                    queue.append(neighbour)
+        components.append(component)
+    return components
+
+
+def split_components_by_size(
+    graph: Graph, cluster_size: int
+) -> Tuple[List[List[str]], List[List[str]]]:
+    """Split connected components into (small, large) by the cluster size.
+
+    Small components have at most ``cluster_size`` vertices; large ones have
+    more.  This mirrors lines 2-4 of Algorithm 1 (Two-Tiered) in the paper.
+    """
+    if cluster_size < 2:
+        raise ValueError("cluster_size must be at least 2")
+    small: List[List[str]] = []
+    large: List[List[str]] = []
+    for component in connected_components(graph):
+        if len(component) <= cluster_size:
+            small.append(component)
+        else:
+            large.append(component)
+    return small, large

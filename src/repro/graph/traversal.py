@@ -1,0 +1,68 @@
+"""BFS and DFS vertex orderings.
+
+The BFS-based and DFS-based baseline HIT generators (Section 7.2) add
+records to a cluster-based HIT in graph-traversal order; these helpers
+produce that order deterministically.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import List, Optional
+
+from repro.graph.graph import Graph
+
+
+def _start_order(graph: Graph, start: Optional[str]) -> List[str]:
+    starts = graph.vertices()
+    if start is None:
+        return starts
+    if not graph.has_vertex(start):
+        raise KeyError(f"unknown start vertex {start!r}")
+    return [start] + [v for v in starts if v != start]
+
+
+def bfs_order(graph: Graph, start: Optional[str] = None) -> List[str]:
+    """Breadth-first vertex order over the whole graph.
+
+    Traversal restarts from the next unvisited vertex (in insertion order)
+    whenever a connected component is exhausted, so every vertex appears
+    exactly once.
+    """
+    order: List[str] = []
+    visited = set()
+    for root in _start_order(graph, start):
+        if root in visited:
+            continue
+        queue = deque([root])
+        visited.add(root)
+        while queue:
+            vertex = queue.popleft()
+            order.append(vertex)
+            for neighbour in graph.neighbors(vertex):
+                if neighbour not in visited:
+                    visited.add(neighbour)
+                    queue.append(neighbour)
+    return order
+
+
+def dfs_order(graph: Graph, start: Optional[str] = None) -> List[str]:
+    """Depth-first vertex order over the whole graph (iterative, deterministic)."""
+    order: List[str] = []
+    visited = set()
+    for root in _start_order(graph, start):
+        if root in visited:
+            continue
+        stack = [root]
+        while stack:
+            vertex = stack.pop()
+            if vertex in visited:
+                continue
+            visited.add(vertex)
+            order.append(vertex)
+            # Push neighbours in reverse insertion order so that the first
+            # neighbour is explored first (classic iterative DFS).
+            for neighbour in reversed(graph.neighbors(vertex)):
+                if neighbour not in visited:
+                    stack.append(neighbour)
+    return order

@@ -1,0 +1,100 @@
+"""The k-clique edge-cover approximation algorithm (Section 4).
+
+The cluster-based HIT generation problem is reduced to the k-clique covering
+problem; Goldschmidt et al.'s (k/2 + k/(k-1))-approximation algorithm then
+works in two phases:
+
+* **Phase 1** builds a sequence ``SEQ`` of all vertices and edges: it
+  repeatedly selects a vertex, appends the vertex and all of its still-present
+  incident edges to ``SEQ``, and removes them from the graph, until the graph
+  is empty.
+* **Phase 2** splits ``SEQ`` into consecutive subsequences of ``k - 1``
+  elements.  The edges inside one subsequence touch at most ``k`` distinct
+  vertices, so each subsequence can be covered by one clique of size at most
+  ``k`` — i.e. one cluster-based HIT.
+
+As the paper observes (Example 2 and Section 7.2), this algorithm is usually
+much worse than the two-tiered heuristic on real data; it is implemented here
+because Figures 10 and 11 include it as a comparison line.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple, Union
+
+from repro.graph.graph import Graph
+from repro.hit.generator import ClusterHITGenerator, register_generator
+from repro.records.pairs import PairSet
+
+SequenceElement = Union[str, Tuple[str, str]]
+
+
+def build_goldschmidt_sequence(graph: Graph) -> List[SequenceElement]:
+    """Phase 1: the vertex/edge sequence SEQ.
+
+    Vertices are selected in insertion order (the algorithm allows any
+    order; the paper notes that it "simply adds a random vertex", which is
+    one reason it performs poorly).  Each selected vertex is appended,
+    followed by its incident edges still present in the graph, and then the
+    vertex and those edges are removed.
+    """
+    working = graph.copy()
+    sequence: List[SequenceElement] = []
+    for vertex in list(working.vertices()):
+        if not working.has_vertex(vertex):
+            continue
+        sequence.append(vertex)
+        for neighbour in list(working.neighbors(vertex)):
+            edge = (vertex, neighbour) if vertex < neighbour else (neighbour, vertex)
+            sequence.append(edge)
+            working.remove_edge(vertex, neighbour)
+        working.remove_vertex(vertex)
+    return sequence
+
+
+def cliques_from_sequence(
+    sequence: Sequence[SequenceElement], cluster_size: int
+) -> List[List[str]]:
+    """Phase 2: split SEQ into chunks of ``k - 1`` elements and extract cliques.
+
+    For each chunk, the clique consists of the distinct vertices appearing in
+    the chunk's edges (chunks containing no edge produce no HIT — there is
+    nothing to cover).  By the SEQ property each such clique has at most
+    ``k`` vertices.
+    """
+    chunk_length = cluster_size - 1
+    cliques: List[List[str]] = []
+    for start in range(0, len(sequence), chunk_length):
+        chunk = sequence[start : start + chunk_length]
+        vertices: List[str] = []
+        has_edge = False
+        for element in chunk:
+            if isinstance(element, tuple):
+                has_edge = True
+                for vertex in element:
+                    if vertex not in vertices:
+                        vertices.append(vertex)
+        if has_edge:
+            cliques.append(vertices)
+    return cliques
+
+
+@register_generator("approximation")
+class ApproximationClusterGenerator(ClusterHITGenerator):
+    """Goldschmidt et al.'s k-clique-cover approximation as a HIT generator."""
+
+    name = "approximation"
+
+    def _clusters(self, pairs: PairSet) -> List[Sequence[str]]:
+        graph = Graph.from_pair_set(pairs)
+        sequence = build_goldschmidt_sequence(graph)
+        cliques = cliques_from_sequence(sequence, self.cluster_size)
+        # Sanity: every clique must respect the size bound guaranteed by the
+        # SEQ property; violating it would indicate an implementation bug.
+        for clique in cliques:
+            if len(clique) > self.cluster_size:
+                raise AssertionError(
+                    "SEQ chunk produced a clique larger than the cluster size: "
+                    f"{clique}"
+                )
+        return cliques

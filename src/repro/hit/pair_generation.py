@@ -1,0 +1,57 @@
+"""Pair-based HIT generation (Section 3.1).
+
+Generating pair-based HITs is straightforward: given a set of pairs ``P``
+and a per-HIT capacity ``k`` pairs, produce ``ceil(|P| / k)`` HITs.  Pairs
+are batched in descending likelihood order by default so that the most
+promising verifications are published first (useful when a budget cuts the
+run short), with an option to keep the original insertion order.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List
+
+from repro.hit.base import HITBatch, PairBasedHIT
+from repro.records.pairs import PairSet
+
+
+class PairHITGenerator:
+    """Chunk a pair set into pair-based HITs of at most ``pairs_per_hit`` pairs."""
+
+    name = "pair-based"
+
+    def __init__(self, pairs_per_hit: int, order_by_likelihood: bool = True) -> None:
+        if pairs_per_hit < 1:
+            raise ValueError("pairs_per_hit must be at least 1")
+        self.pairs_per_hit = pairs_per_hit
+        self.order_by_likelihood = order_by_likelihood
+
+    def expected_hit_count(self, pair_count: int) -> int:
+        """ceil(|P| / k): the number of HITs the generator will produce."""
+        if pair_count <= 0:
+            return 0
+        return math.ceil(pair_count / self.pairs_per_hit)
+
+    def generate(self, pairs: PairSet) -> HITBatch:
+        """Generate the pair-based HIT batch for the given candidate pairs."""
+        if self.order_by_likelihood:
+            ordered = pairs.sorted_by_likelihood()
+        else:
+            ordered = list(pairs)
+        hits: List[PairBasedHIT] = []
+        for start in range(0, len(ordered), self.pairs_per_hit):
+            chunk = ordered[start : start + self.pairs_per_hit]
+            hits.append(
+                PairBasedHIT(
+                    hit_id=f"pair-hit-{len(hits) + 1}",
+                    pairs=tuple(pair.key for pair in chunk),
+                )
+            )
+        return HITBatch(
+            hit_type="pair",
+            hits=list(hits),
+            candidate_pairs=set(pairs.keys()),
+            generator_name=self.name,
+            cluster_size=self.pairs_per_hit,
+        )

@@ -1,0 +1,118 @@
+"""Learning-based entity resolution: the paper's SVM baseline end to end.
+
+The pipeline follows Section 7.3:
+
+1. Compute the Jaccard candidates above a low threshold (0.1 in the paper).
+2. Sample ``training_size`` candidate pairs, label them with the ground
+   truth, and extract similarity feature vectors.
+3. Train the classifier and score the remaining candidate pairs.
+4. Return a ranked list of pairs (most likely matches first) used to plot
+   precision-recall curves.
+
+The sampling / training is repeated ``repetitions`` times with different
+seeds and the per-pair scores are averaged, mirroring "the training pairs
+were sampled 10 times, and we report the average performance here".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.learning.svm import LinearSVM
+from repro.learning.training import build_training_set
+from repro.records.pairs import PairSet
+from repro.records.record import RecordStore
+from repro.similarity.feature_vectors import FeatureExtractor
+
+
+@dataclass
+class LearningBasedER:
+    """SVM-based ER ranker over machine-generated candidate pairs.
+
+    Parameters
+    ----------
+    extractor:
+        Feature extractor (edit + cosine per attribute in the paper).
+    training_size:
+        Number of labelled training pairs per repetition (500 in the paper).
+    repetitions:
+        Number of independent training repetitions to average (10 in the
+        paper; smaller values keep the benchmarks fast).
+    seed:
+        Base random seed.
+    classifier_factory:
+        Callable returning a fresh classifier exposing ``fit`` and
+        ``decision_function``; defaults to :class:`LinearSVM`.
+    """
+
+    extractor: FeatureExtractor
+    training_size: int = 500
+    repetitions: int = 3
+    seed: int = 0
+    classifier_factory: Optional[object] = None
+    name: str = "svm"
+    last_training_sizes: List[int] = field(default_factory=list)
+
+    def rank_pairs(
+        self,
+        store: RecordStore,
+        candidates: PairSet,
+        ground_truth: FrozenSet[Tuple[str, str]],
+        exclude_training: bool = False,
+    ) -> List[Tuple[Tuple[str, str], float]]:
+        """Return candidate pairs ranked by averaged classifier score.
+
+        ``exclude_training`` removes the pairs used for training from the
+        ranked output (the paper ranks "the remaining pairs"); keeping them
+        simplifies recall accounting and changes results only marginally.
+        """
+        keys = list(candidates.keys())
+        if not keys:
+            return []
+        features = self.extractor.extract_pairs(store, keys)
+        total_scores = np.zeros(len(keys))
+        successful_runs = 0
+        excluded: set = set()
+        self.last_training_sizes = []
+
+        for repetition in range(self.repetitions):
+            training = build_training_set(
+                store,
+                candidates,
+                ground_truth,
+                self.extractor,
+                sample_size=self.training_size,
+                seed=self.seed + repetition,
+            )
+            self.last_training_sizes.append(training.size)
+            if not training.has_both_classes():
+                continue
+            classifier = self._new_classifier(repetition)
+            classifier.fit(training.features, training.labels)
+            total_scores += classifier.decision_function(features)
+            successful_runs += 1
+            if exclude_training:
+                excluded.update(training.pair_keys)
+
+        if successful_runs == 0:
+            # Fall back to ranking by the machine likelihood if training was
+            # impossible (e.g. no positive pairs among the candidates).
+            scored = [
+                (pair.key, pair.likelihood or 0.0)
+                for pair in candidates.sorted_by_likelihood()
+            ]
+            return [(key, score) for key, score in scored if key not in excluded]
+
+        scores = total_scores / successful_runs
+        ranked = sorted(zip(keys, scores), key=lambda item: item[1], reverse=True)
+        if exclude_training:
+            ranked = [(key, score) for key, score in ranked if key not in excluded]
+        return [(key, float(score)) for key, score in ranked]
+
+    def _new_classifier(self, repetition: int):
+        if self.classifier_factory is not None:
+            return self.classifier_factory()  # type: ignore[operator]
+        return LinearSVM(seed=self.seed + repetition)

@@ -1,0 +1,94 @@
+"""L2-regularised logistic regression trained with batch gradient descent.
+
+Provided as an alternative learning-based baseline to the SVM (the paper
+only evaluates SVM; logistic regression is included for ablations and as a
+sanity cross-check of the feature extraction).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+
+class LogisticRegression:
+    """Binary logistic regression on dense numpy features."""
+
+    def __init__(
+        self,
+        regularization: float = 1e-4,
+        learning_rate: float = 0.5,
+        iterations: int = 2_000,
+        fit_intercept: bool = True,
+    ) -> None:
+        if regularization < 0:
+            raise ValueError("regularization must be non-negative")
+        if learning_rate <= 0:
+            raise ValueError("learning_rate must be positive")
+        if iterations < 1:
+            raise ValueError("iterations must be at least 1")
+        self.regularization = regularization
+        self.learning_rate = learning_rate
+        self.iterations = iterations
+        self.fit_intercept = fit_intercept
+        self.weights: Optional[np.ndarray] = None
+        self.bias: float = 0.0
+
+    @property
+    def is_fitted(self) -> bool:
+        """True once :meth:`fit` has completed."""
+        return self.weights is not None
+
+    @staticmethod
+    def _sigmoid(values: np.ndarray) -> np.ndarray:
+        return 1.0 / (1.0 + np.exp(-np.clip(values, -35.0, 35.0)))
+
+    def fit(self, features: np.ndarray, labels: np.ndarray) -> "LogisticRegression":
+        """Train on a feature matrix and 0/1 labels."""
+        features = np.asarray(features, dtype=float)
+        labels = np.asarray(labels, dtype=float).ravel()
+        if features.ndim != 2:
+            raise ValueError("features must be a 2-D matrix")
+        if features.shape[0] != labels.shape[0]:
+            raise ValueError("features and labels must have the same number of rows")
+        if len(np.unique(labels)) < 2:
+            raise ValueError("training data must contain both classes")
+
+        n_samples, n_features = features.shape
+        weights = np.zeros(n_features)
+        bias = 0.0
+        for _ in range(self.iterations):
+            scores = features @ weights + bias
+            probabilities = self._sigmoid(scores)
+            error = probabilities - labels
+            gradient_w = features.T @ error / n_samples + self.regularization * weights
+            gradient_b = float(np.mean(error))
+            weights -= self.learning_rate * gradient_w
+            if self.fit_intercept:
+                bias -= self.learning_rate * gradient_b
+        self.weights = weights
+        self.bias = bias
+        return self
+
+    def predict_proba(self, features: np.ndarray) -> np.ndarray:
+        """Probability of the positive (match) class."""
+        if not self.is_fitted:
+            raise RuntimeError("LogisticRegression must be fitted before scoring")
+        features = np.asarray(features, dtype=float)
+        if features.ndim == 1:
+            features = features.reshape(1, -1)
+        return self._sigmoid(features @ self.weights + self.bias)
+
+    def decision_function(self, features: np.ndarray) -> np.ndarray:
+        """Raw linear scores (monotone in the probability)."""
+        if not self.is_fitted:
+            raise RuntimeError("LogisticRegression must be fitted before scoring")
+        features = np.asarray(features, dtype=float)
+        if features.ndim == 1:
+            features = features.reshape(1, -1)
+        return features @ self.weights + self.bias
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        """Binary 0/1 predictions at the 0.5 probability threshold."""
+        return (self.predict_proba(features) > 0.5).astype(int)

@@ -1,0 +1,213 @@
+"""Record and RecordStore: the basic data model of the reproduction.
+
+A :class:`Record` is an immutable mapping from attribute names to string
+values plus a unique identifier and an optional source tag (used by
+two-source datasets such as the Product dataset, which integrates records
+from an "abt"-like and a "buy"-like website).
+
+A :class:`RecordStore` is an ordered collection of records with id-based
+lookup.  It corresponds to the single relational table the CrowdER paper
+de-duplicates (e.g. Table 1 in the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+
+class RecordError(ValueError):
+    """Raised for malformed records or invalid store operations."""
+
+
+@dataclass(frozen=True)
+class Record:
+    """A single record (row) of the table being resolved.
+
+    Parameters
+    ----------
+    record_id:
+        Unique identifier of the record within its :class:`RecordStore`
+        (e.g. ``"r1"``).
+    attributes:
+        Mapping from attribute name to attribute value.  Values are stored
+        as strings; numeric attributes (e.g. price) should be formatted by
+        the caller.
+    source:
+        Optional provenance tag.  Two-source datasets set this to the name
+        of the originating website so that cross-source matching can be
+        restricted or analysed.
+    """
+
+    record_id: str
+    attributes: Mapping[str, str]
+    source: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if not self.record_id:
+            raise RecordError("record_id must be a non-empty string")
+        if not isinstance(self.attributes, Mapping):
+            raise RecordError("attributes must be a mapping")
+        # Freeze the attribute mapping so the record is hashable and safe to
+        # share between data structures.
+        object.__setattr__(self, "attributes", dict(self.attributes))
+
+    def __hash__(self) -> int:
+        return hash(self.record_id)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Record):
+            return NotImplemented
+        return self.record_id == other.record_id
+
+    def get(self, attribute: str, default: str = "") -> str:
+        """Return the value of ``attribute``, or ``default`` if absent."""
+        return self.attributes.get(attribute, default)
+
+    def text(self, attributes: Optional[Sequence[str]] = None) -> str:
+        """Concatenate attribute values into a single text blob.
+
+        The CrowdER "simjoin" likelihood tokenises the concatenation of all
+        attribute values of a record; this helper produces that blob.
+
+        Parameters
+        ----------
+        attributes:
+            Attributes to include, in order.  ``None`` means all attributes
+            in insertion order.
+        """
+        if attributes is None:
+            values = list(self.attributes.values())
+        else:
+            values = [self.attributes.get(name, "") for name in attributes]
+        return " ".join(value for value in values if value)
+
+    def with_attributes(self, **updates: str) -> "Record":
+        """Return a copy of this record with some attribute values replaced."""
+        merged = dict(self.attributes)
+        merged.update(updates)
+        return Record(record_id=self.record_id, attributes=merged, source=self.source)
+
+    def as_dict(self) -> Dict[str, str]:
+        """Return a plain-dict view including the id and source."""
+        payload = {"record_id": self.record_id}
+        payload.update(self.attributes)
+        if self.source is not None:
+            payload["source"] = self.source
+        return payload
+
+
+@dataclass
+class RecordStore:
+    """An ordered, id-indexed collection of :class:`Record` objects.
+
+    The store enforces id uniqueness and preserves insertion order, which
+    makes dataset generation deterministic and keeps pair enumeration
+    stable across runs.
+    """
+
+    name: str = "records"
+    _records: List[Record] = field(default_factory=list)
+    _by_id: Dict[str, Record] = field(default_factory=dict)
+
+    @classmethod
+    def from_records(cls, records: Iterable[Record], name: str = "records") -> "RecordStore":
+        """Build a store from an iterable of records."""
+        store = cls(name=name)
+        for record in records:
+            store.add(record)
+        return store
+
+    @classmethod
+    def from_rows(
+        cls,
+        rows: Iterable[Mapping[str, str]],
+        id_attribute: str = "record_id",
+        name: str = "records",
+        source: Optional[str] = None,
+    ) -> "RecordStore":
+        """Build a store from plain dict rows.
+
+        The ``id_attribute`` column is used as the record id and removed
+        from the attribute mapping.
+        """
+        store = cls(name=name)
+        for index, row in enumerate(rows):
+            row = dict(row)
+            record_id = str(row.pop(id_attribute, f"r{index + 1}"))
+            store.add(Record(record_id=record_id, attributes=row, source=source))
+        return store
+
+    def add(self, record: Record) -> None:
+        """Add a record; raises :class:`RecordError` on duplicate ids."""
+        if record.record_id in self._by_id:
+            raise RecordError(f"duplicate record id: {record.record_id!r}")
+        self._records.append(record)
+        self._by_id[record.record_id] = record
+
+    def get(self, record_id: str) -> Record:
+        """Return the record with the given id, raising ``KeyError`` if absent."""
+        return self._by_id[record_id]
+
+    def __contains__(self, record_id: object) -> bool:
+        return record_id in self._by_id
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[Record]:
+        return iter(self._records)
+
+    def __getitem__(self, index: int) -> Record:
+        return self._records[index]
+
+    @property
+    def record_ids(self) -> List[str]:
+        """Record ids in insertion order."""
+        return [record.record_id for record in self._records]
+
+    def records_from_source(self, source: str) -> List[Record]:
+        """Return all records tagged with the given source."""
+        return [record for record in self._records if record.source == source]
+
+    def sources(self) -> List[str]:
+        """Return distinct source tags in first-seen order."""
+        seen: List[str] = []
+        for record in self._records:
+            if record.source is not None and record.source not in seen:
+                seen.append(record.source)
+        return seen
+
+    def attribute_names(self) -> List[str]:
+        """Union of attribute names across all records, in first-seen order."""
+        names: List[str] = []
+        for record in self._records:
+            for name in record.attributes:
+                if name not in names:
+                    names.append(name)
+        return names
+
+    def all_pairs(self) -> Iterator[Tuple[Record, Record]]:
+        """Yield every unordered pair of distinct records.
+
+        This is the O(n^2) enumeration the paper's "naive" crowdsourcing
+        approach would have to verify; the hybrid workflow exists precisely
+        to avoid sending all of these to the crowd.
+        """
+        records = self._records
+        for i in range(len(records)):
+            for j in range(i + 1, len(records)):
+                yield records[i], records[j]
+
+    def cross_source_pairs(self, source_a: str, source_b: str) -> Iterator[Tuple[Record, Record]]:
+        """Yield pairs with one record from each of the two given sources."""
+        left = self.records_from_source(source_a)
+        right = self.records_from_source(source_b)
+        for record_a in left:
+            for record_b in right:
+                yield record_a, record_b
+
+    def total_pair_count(self) -> int:
+        """Number of unordered pairs n*(n-1)/2."""
+        n = len(self._records)
+        return n * (n - 1) // 2

@@ -1,0 +1,94 @@
+"""TF-IDF vectorisation and cosine similarity over a record corpus.
+
+The token-frequency cosine in :mod:`repro.similarity.set_similarity` needs
+no corpus statistics; this module adds the corpus-weighted (TF-IDF) variant,
+which the blocking layer and some ablations use to down-weight very common
+tokens such as "apple" in the Product dataset.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from typing import Dict, Iterable, List, Mapping, Sequence
+
+
+class TfidfVectorizer:
+    """Minimal TF-IDF vectoriser over token lists.
+
+    The vectoriser is fitted on a corpus of token lists; ``transform``
+    returns sparse vectors as ``{token: weight}`` dictionaries, already
+    L2-normalised so that cosine similarity is a plain dot product.
+    """
+
+    def __init__(self, smooth_idf: bool = True) -> None:
+        self.smooth_idf = smooth_idf
+        self._idf: Dict[str, float] = {}
+        self._n_documents = 0
+
+    @property
+    def is_fitted(self) -> bool:
+        """True once :meth:`fit` has been called on a non-empty corpus."""
+        return self._n_documents > 0
+
+    def fit(self, corpus: Iterable[Sequence[str]]) -> "TfidfVectorizer":
+        """Compute inverse document frequencies from the corpus."""
+        document_frequency: Counter = Counter()
+        n_documents = 0
+        for tokens in corpus:
+            n_documents += 1
+            for token in set(tokens):
+                document_frequency[token] += 1
+        self._n_documents = n_documents
+        self._idf = {}
+        for token, frequency in document_frequency.items():
+            if self.smooth_idf:
+                idf = math.log((1 + n_documents) / (1 + frequency)) + 1.0
+            else:
+                idf = math.log(n_documents / frequency) + 1.0
+            self._idf[token] = idf
+        return self
+
+    def idf(self, token: str) -> float:
+        """Return the IDF weight of a token (unseen tokens get the max IDF)."""
+        if not self.is_fitted:
+            raise RuntimeError("TfidfVectorizer must be fitted before use")
+        if token in self._idf:
+            return self._idf[token]
+        if self.smooth_idf:
+            return math.log(1 + self._n_documents) + 1.0
+        return math.log(max(self._n_documents, 1)) + 1.0
+
+    def transform(self, tokens: Sequence[str]) -> Dict[str, float]:
+        """Return the L2-normalised TF-IDF vector of a token list."""
+        counts = Counter(tokens)
+        vector = {token: count * self.idf(token) for token, count in counts.items()}
+        norm = math.sqrt(sum(weight * weight for weight in vector.values()))
+        if norm == 0.0:
+            return {}
+        return {token: weight / norm for token, weight in vector.items()}
+
+    def fit_transform(self, corpus: Sequence[Sequence[str]]) -> List[Dict[str, float]]:
+        """Fit on the corpus and return the vector of every document."""
+        self.fit(corpus)
+        return [self.transform(tokens) for tokens in corpus]
+
+
+def sparse_dot(vector_a: Mapping[str, float], vector_b: Mapping[str, float]) -> float:
+    """Dot product of two sparse ``{token: weight}`` vectors."""
+    if len(vector_a) > len(vector_b):
+        vector_a, vector_b = vector_b, vector_a
+    return sum(weight * vector_b.get(token, 0.0) for token, weight in vector_a.items())
+
+
+def cosine_tfidf_similarity(
+    tokens_a: Sequence[str],
+    tokens_b: Sequence[str],
+    vectorizer: TfidfVectorizer,
+) -> float:
+    """Cosine similarity of two token lists under a fitted TF-IDF vectoriser."""
+    vector_a = vectorizer.transform(tokens_a)
+    vector_b = vectorizer.transform(tokens_b)
+    if not vector_a and not vector_b:
+        return 1.0
+    return sparse_dot(vector_a, vector_b)

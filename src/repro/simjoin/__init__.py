@@ -1,0 +1,23 @@
+"""Machine-based candidate-pair generation: similarity joins and blocking.
+
+This package implements the machine pass of CrowdER's hybrid workflow:
+computing, for every candidate pair, the likelihood that the two records
+refer to the same entity (Section 2.2), and the indexing techniques the
+paper's footnote 1 mentions for avoiding all-pairs comparison (blocking and
+prefix-filtering similarity joins).
+"""
+
+from repro.simjoin.allpairs import all_pairs_similarity
+from repro.simjoin.prefix_filter import PrefixFilterJoin
+from repro.simjoin.blocking import TokenBlocker, QGramBlocker, AttributeBlocker
+from repro.simjoin.likelihood import LikelihoodEstimator, SimJoinLikelihood
+
+__all__ = [
+    "all_pairs_similarity",
+    "PrefixFilterJoin",
+    "TokenBlocker",
+    "QGramBlocker",
+    "AttributeBlocker",
+    "LikelihoodEstimator",
+    "SimJoinLikelihood",
+]

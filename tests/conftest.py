@@ -1,0 +1,56 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets.paper_example import paper_example_matches, paper_example_store
+from repro.datasets.product import ProductGenerator
+from repro.datasets.restaurant import RestaurantGenerator
+from repro.records.pairs import PairSet, RecordPair
+from repro.similarity.record_similarity import JaccardRecordSimilarity
+from repro.simjoin.allpairs import all_pairs_similarity
+
+
+@pytest.fixture(scope="session")
+def example_store():
+    """The paper's Table-1 product table."""
+    return paper_example_store()
+
+
+@pytest.fixture(scope="session")
+def example_matches():
+    """Ground-truth matches of the Table-1 example."""
+    return paper_example_matches()
+
+
+@pytest.fixture(scope="session")
+def example_pairs(example_store):
+    """The ten candidate pairs of Figure 2(a): Jaccard on product_name >= 0.3."""
+    similarity = JaccardRecordSimilarity(attributes=["product_name"])
+    return all_pairs_similarity(example_store, similarity=similarity, min_likelihood=0.3)
+
+
+@pytest.fixture(scope="session")
+def small_restaurant():
+    """A small Restaurant-style dataset (fast enough for unit tests)."""
+    return RestaurantGenerator(record_count=120, duplicate_pairs=20, seed=3).generate()
+
+
+@pytest.fixture(scope="session")
+def small_product():
+    """A small two-source Product-style dataset."""
+    return ProductGenerator(
+        shared_entities=60, extra_buy_duplicates=6, abt_only=8, buy_only=4, seed=5
+    ).generate()
+
+
+@pytest.fixture()
+def simple_pairs():
+    """A hand-built pair set with two connected components."""
+    pairs = PairSet()
+    pairs.add(RecordPair("a", "b", likelihood=0.9))
+    pairs.add(RecordPair("b", "c", likelihood=0.8))
+    pairs.add(RecordPair("a", "c", likelihood=0.7))
+    pairs.add(RecordPair("d", "e", likelihood=0.6))
+    return pairs

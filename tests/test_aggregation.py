@@ -1,0 +1,120 @@
+"""Tests for majority-vote and Dawid-Skene aggregation."""
+
+import random
+
+import pytest
+
+from repro.aggregation.dawid_skene import DawidSkeneAggregator
+from repro.aggregation.majority import MajorityAggregator, majority_vote, vote_matrix
+
+
+def make_votes(truth, workers, rng):
+    """Simulate votes: each worker is (id, accuracy) and votes on every pair."""
+    votes = []
+    for pair_key, is_match in truth.items():
+        for worker_id, accuracy in workers:
+            answer = is_match if rng.random() < accuracy else not is_match
+            votes.append((worker_id, pair_key, answer))
+    return votes
+
+
+class TestMajority:
+    def test_majority_vote_fractions(self):
+        votes = [
+            ("w1", ("a", "b"), True),
+            ("w2", ("a", "b"), True),
+            ("w3", ("a", "b"), False),
+            ("w1", ("c", "d"), False),
+        ]
+        fractions = majority_vote(votes)
+        assert fractions[("a", "b")] == pytest.approx(2 / 3)
+        assert fractions[("c", "d")] == 0.0
+
+    def test_majority_decisions_tie_is_non_match(self):
+        votes = [("w1", ("a", "b"), True), ("w2", ("a", "b"), False)]
+        decisions = MajorityAggregator().decisions(votes)
+        assert decisions[("a", "b")] is False
+
+    def test_pair_keys_canonicalised(self):
+        votes = [("w1", ("b", "a"), True), ("w2", ("a", "b"), True)]
+        fractions = majority_vote(votes)
+        assert fractions == {("a", "b"): 1.0}
+
+    def test_vote_matrix_groups_by_pair(self):
+        votes = [("w1", ("a", "b"), True), ("w2", ("a", "b"), False)]
+        matrix = vote_matrix(votes)
+        assert len(matrix[("a", "b")]) == 2
+
+
+class TestDawidSkene:
+    def test_empty_votes(self):
+        result = DawidSkeneAggregator().run([])
+        assert result.posteriors == {}
+        assert result.converged
+
+    def test_unanimous_votes(self):
+        votes = [(f"w{i}", ("a", "b"), True) for i in range(3)]
+        votes += [(f"w{i}", ("c", "d"), False) for i in range(3)]
+        posteriors = DawidSkeneAggregator().aggregate(votes)
+        assert posteriors[("a", "b")] > 0.9
+        assert posteriors[("c", "d")] < 0.1
+
+    def test_recovers_truth_with_reliable_majority(self):
+        rng = random.Random(0)
+        truth = {(f"p{i}", f"q{i}"): (i % 3 == 0) for i in range(60)}
+        workers = [("good1", 0.95), ("good2", 0.9), ("good3", 0.92)]
+        votes = make_votes(truth, workers, rng)
+        decisions = DawidSkeneAggregator().run(votes).decisions()
+        accuracy = sum(decisions[key] == truth[key] for key in truth) / len(truth)
+        assert accuracy >= 0.95
+
+    def test_downweights_spammers_better_than_majority(self):
+        """With 1 good worker and 2 random spammers, EM beats plain majority.
+
+        This is exactly the Section-7.3 motivation for using the EM-based
+        algorithm instead of vote averaging: random spammers dilute the
+        majority, while EM learns that their votes carry no information.
+        """
+        rng = random.Random(1)
+        truth = {(f"p{i}", f"q{i}"): (i % 2 == 0) for i in range(120)}
+        votes = []
+        for pair_key, is_match in truth.items():
+            votes.append(("good1", pair_key, is_match if rng.random() < 0.95 else not is_match))
+            votes.append(("good2", pair_key, is_match if rng.random() < 0.9 else not is_match))
+            votes.append(("spam", pair_key, rng.random() < 0.5))
+        ds_decisions = DawidSkeneAggregator().run(votes).decisions()
+        mv_decisions = MajorityAggregator().decisions(votes)
+        ds_accuracy = sum(ds_decisions[key] == truth[key] for key in truth) / len(truth)
+        mv_accuracy = sum(mv_decisions[key] == truth[key] for key in truth) / len(truth)
+        assert ds_accuracy >= mv_accuracy
+        assert ds_accuracy >= 0.85
+
+    def test_worker_accuracy_estimates(self):
+        rng = random.Random(2)
+        truth = {(f"p{i}", f"q{i}"): (i % 2 == 0) for i in range(100)}
+        workers = [("reliable", 0.97), ("noisy", 0.6), ("other", 0.92)]
+        votes = make_votes(truth, workers, rng)
+        result = DawidSkeneAggregator().run(votes)
+        reliable_sens, reliable_spec = result.worker_accuracy["reliable"]
+        noisy_sens, noisy_spec = result.worker_accuracy["noisy"]
+        assert reliable_sens > noisy_sens
+        assert reliable_spec > noisy_spec
+
+    def test_posteriors_in_unit_interval(self):
+        rng = random.Random(3)
+        truth = {(f"p{i}", f"q{i}"): (i % 4 == 0) for i in range(40)}
+        votes = make_votes(truth, [("a", 0.8), ("b", 0.7), ("c", 0.55)], rng)
+        posteriors = DawidSkeneAggregator().aggregate(votes)
+        assert all(0.0 <= value <= 1.0 for value in posteriors.values())
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            DawidSkeneAggregator(max_iterations=0)
+        with pytest.raises(ValueError):
+            DawidSkeneAggregator(smoothing=0.0)
+
+    def test_convergence_flag(self):
+        votes = [(f"w{i}", ("a", "b"), True) for i in range(3)]
+        result = DawidSkeneAggregator(max_iterations=100).run(votes)
+        assert result.converged
+        assert result.iterations <= 100

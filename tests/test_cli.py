@@ -1,0 +1,64 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, load_dataset, main
+
+
+class TestLoadDataset:
+    def test_known_datasets(self):
+        dataset = load_dataset("product", scale=0.05, seed=1)
+        assert dataset.name == "product"
+        dataset = load_dataset("product-dup", scale=0.05, seed=1)
+        assert dataset.name == "product+dup"
+
+    def test_unknown_dataset(self):
+        with pytest.raises(ValueError):
+            load_dataset("unknown", scale=1.0, seed=0)
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_parses_resolve_options(self):
+        args = build_parser().parse_args(
+            ["resolve", "--dataset", "restaurant", "--threshold", "0.4", "--qualification-test"]
+        )
+        assert args.dataset == "restaurant"
+        assert args.threshold == 0.4
+        assert args.qualification_test is True
+
+
+class TestCommands:
+    def test_threshold_table_command(self, capsys):
+        exit_code = main(
+            ["threshold-table", "--dataset", "product", "--scale", "0.05",
+             "--thresholds", "0.4", "0.2"]
+        )
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "Likelihood-threshold selection" in output
+        assert "0.400" in output
+
+    def test_generate_hits_command(self, capsys):
+        exit_code = main(
+            ["generate-hits", "--dataset", "product", "--scale", "0.05",
+             "--threshold", "0.3", "--cluster-size", "6",
+             "--algorithm", "two-tiered", "--algorithm", "bfs"]
+        )
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "two-tiered" in output and "bfs" in output
+        assert "True" in output  # valid covers
+
+    def test_resolve_command(self, capsys):
+        exit_code = main(
+            ["resolve", "--dataset", "product", "--scale", "0.05", "--threshold", "0.3",
+             "--cluster-size", "6", "--seed", "2"]
+        )
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "precision / recall" in output
+        assert "crowd cost" in output

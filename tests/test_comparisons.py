@@ -1,0 +1,82 @@
+"""Tests for the Section-6 comparison-count model."""
+
+import pytest
+
+from repro.hit.base import ClusterBasedHIT, PairBasedHIT
+from repro.hit.comparisons import (
+    all_duplicate_comparisons,
+    cluster_hit_comparisons,
+    cluster_hit_comparisons_bounds,
+    comparisons_for_entity_sizes,
+    entity_partition,
+    no_duplicate_comparisons,
+    pair_hit_comparisons,
+)
+
+
+class TestPairComparisons:
+    def test_pair_hit_comparisons_equals_pair_count(self):
+        hit = PairBasedHIT("h1", (("a", "b"), ("c", "d"), ("e", "f")))
+        assert pair_hit_comparisons(hit) == 3
+
+
+class TestEntityPartition:
+    def test_groups_by_transitive_matches(self):
+        entities = entity_partition(["a", "b", "c", "d"], [("a", "b"), ("b", "c")])
+        assert sorted(len(entity) for entity in entities) == [1, 3]
+        assert frozenset({"a", "b", "c"}) in {frozenset(entity) for entity in entities}
+
+    def test_matches_outside_hit_ignored(self):
+        entities = entity_partition(["a", "b"], [("a", "z")])
+        assert sorted(len(entity) for entity in entities) == [1, 1]
+
+
+class TestEquationOne:
+    def test_no_duplicates_extreme(self):
+        # n entities of size 1 -> n*(n-1)/2 comparisons.
+        assert comparisons_for_entity_sizes([1, 1, 1, 1]) == no_duplicate_comparisons(4) == 6
+
+    def test_all_duplicates_extreme(self):
+        # One entity with n records -> n-1 comparisons.
+        assert comparisons_for_entity_sizes([4]) == all_duplicate_comparisons(4) == 3
+
+    def test_example4(self, example_matches):
+        """Example 4: HIT {r1, r2, r3, r7} needs only three comparisons."""
+        hit = ClusterBasedHIT("h", ("r1", "r2", "r3", "r7"))
+        assert cluster_hit_comparisons(hit, example_matches, order="as-given") == 3
+
+    def test_order_dependence(self):
+        """Equation 2: identifying small entities first minimises comparisons."""
+        hit = ClusterBasedHIT("h", tuple(f"r{i}" for i in range(6)))
+        # r0-r1-r2 one entity, r3-r4 another, r5 alone.
+        matches = [("r0", "r1"), ("r1", "r2"), ("r3", "r4")]
+        best, worst = cluster_hit_comparisons_bounds(hit, matches)
+        assert best <= cluster_hit_comparisons(hit, matches, order="as-given") <= worst
+        assert best < worst
+
+    def test_best_order_is_descending_entity_size(self):
+        hit = ClusterBasedHIT("h", tuple(f"r{i}" for i in range(5)))
+        matches = [("r0", "r1"), ("r1", "r2"), ("r0", "r2")]
+        # Entities: {r0,r1,r2} of size 3 plus singletons {r3} and {r4}.
+        # Equation 2 is minimised by identifying the largest entity first.
+        assert cluster_hit_comparisons(hit, matches, order="best") == comparisons_for_entity_sizes([3, 1, 1])
+        assert cluster_hit_comparisons(hit, matches, order="worst") == comparisons_for_entity_sizes([1, 1, 3])
+        assert comparisons_for_entity_sizes([3, 1, 1]) < comparisons_for_entity_sizes([1, 1, 3])
+
+    def test_invalid_order(self):
+        hit = ClusterBasedHIT("h", ("a", "b"))
+        with pytest.raises(ValueError):
+            cluster_hit_comparisons(hit, [], order="nope")
+
+    def test_cluster_with_more_matches_needs_fewer_comparisons(self):
+        records = tuple(f"r{i}" for i in range(8))
+        hit = ClusterBasedHIT("h", records)
+        no_matches = cluster_hit_comparisons(hit, [], order="as-given")
+        all_matches = cluster_hit_comparisons(
+            hit, [(records[0], r) for r in records[1:]] + [(records[1], records[2])],
+            order="as-given",
+        )
+        # Transitive closure makes all 8 records one entity.
+        assert all_matches < no_matches
+        assert no_matches == 28
+        assert all_matches == 7

@@ -1,0 +1,139 @@
+"""Unit tests for the machine pass: joins, blocking and likelihood estimation."""
+
+import pytest
+
+from repro.records.record import Record, RecordStore
+from repro.similarity.record_similarity import JaccardRecordSimilarity
+from repro.simjoin.allpairs import all_pairs_similarity
+from repro.simjoin.blocking import AttributeBlocker, QGramBlocker, TokenBlocker
+from repro.simjoin.likelihood import CustomLikelihood, SimJoinLikelihood
+from repro.simjoin.prefix_filter import PrefixFilterJoin
+
+
+class TestAllPairs:
+    def test_scores_every_pair_at_zero_threshold(self, example_store):
+        pairs = all_pairs_similarity(example_store, min_likelihood=0.0)
+        assert len(pairs) == 9 * 8 // 2
+
+    def test_threshold_filters(self, example_store):
+        similarity = JaccardRecordSimilarity(attributes=["product_name"])
+        pairs = all_pairs_similarity(example_store, similarity=similarity, min_likelihood=0.3)
+        assert len(pairs) == 10
+
+    def test_reproduces_figure_2a(self, example_pairs):
+        expected = {
+            ("r1", "r2"), ("r1", "r7"), ("r2", "r3"), ("r2", "r7"), ("r3", "r4"),
+            ("r3", "r5"), ("r4", "r5"), ("r4", "r6"), ("r4", "r7"), ("r8", "r9"),
+        }
+        assert example_pairs.to_key_set() == frozenset(expected)
+
+    def test_cross_source_restriction(self, small_product):
+        pairs = all_pairs_similarity(
+            small_product.store,
+            min_likelihood=0.0,
+            cross_sources=("abt", "buy"),
+        )
+        abt = len(small_product.store.records_from_source("abt"))
+        buy = len(small_product.store.records_from_source("buy"))
+        assert len(pairs) == abt * buy
+
+
+class TestPrefixFilterJoin:
+    def test_matches_naive_join_on_example(self, example_store):
+        for threshold in (0.2, 0.3, 0.5, 0.8):
+            naive = all_pairs_similarity(example_store, min_likelihood=threshold)
+            filtered = PrefixFilterJoin(threshold=threshold).join(example_store)
+            assert filtered.to_key_set() == naive.to_key_set()
+
+    def test_matches_naive_join_on_restaurant_sample(self, small_restaurant):
+        threshold = 0.4
+        naive = all_pairs_similarity(small_restaurant.store, min_likelihood=threshold)
+        filtered = PrefixFilterJoin(threshold=threshold).join(small_restaurant.store)
+        assert filtered.to_key_set() == naive.to_key_set()
+
+    def test_likelihoods_are_exact(self, example_store):
+        filtered = PrefixFilterJoin(threshold=0.3, attributes=["product_name"]).join(example_store)
+        pair = filtered.get("r1", "r2")
+        assert pair is not None and pair.likelihood == pytest.approx(4 / 7)
+
+    def test_cross_source_join(self, small_product):
+        threshold = 0.3
+        naive = all_pairs_similarity(
+            small_product.store, min_likelihood=threshold, cross_sources=("abt", "buy")
+        )
+        filtered = PrefixFilterJoin(threshold=threshold).join(
+            small_product.store, cross_sources=("abt", "buy")
+        )
+        assert filtered.to_key_set() == naive.to_key_set()
+
+    def test_invalid_threshold(self):
+        with pytest.raises(ValueError):
+            PrefixFilterJoin(threshold=0.0)
+        with pytest.raises(ValueError):
+            PrefixFilterJoin(threshold=1.5)
+
+
+class TestBlocking:
+    def _store(self):
+        store = RecordStore()
+        store.add(Record("r1", {"name": "apple ipod touch", "city": "nyc"}))
+        store.add(Record("r2", {"name": "apple ipod nano", "city": "nyc"}))
+        store.add(Record("r3", {"name": "sony walkman", "city": "sf"}))
+        return store
+
+    def test_attribute_blocker_groups_equal_values(self):
+        store = self._store()
+        keys = AttributeBlocker("city").candidate_keys(store)
+        assert keys == {("r1", "r2")}
+
+    def test_token_blocker_candidates(self):
+        store = self._store()
+        keys = TokenBlocker(attributes=["name"]).candidate_keys(store)
+        assert ("r1", "r2") in keys
+        assert ("r1", "r3") not in keys
+
+    def test_qgram_blocker_is_typo_tolerant(self):
+        store = RecordStore()
+        store.add(Record("a", {"name": "restaurant"}))
+        store.add(Record("b", {"name": "restaurnat"}))
+        keys = QGramBlocker(q=3, attributes=["name"]).candidate_keys(store)
+        assert ("a", "b") in keys
+
+    def test_blocker_candidates_scored_and_thresholded(self):
+        store = self._store()
+        pairs = TokenBlocker(attributes=["name"]).candidates(store, min_likelihood=0.5)
+        assert ("r1", "r2") in pairs
+        assert all(pair.likelihood >= 0.5 for pair in pairs)
+
+    def test_blocking_never_misses_pairs_above_threshold(self, small_restaurant):
+        """Token blocking is a superset of any positive-threshold Jaccard join."""
+        threshold = 0.4
+        naive = all_pairs_similarity(small_restaurant.store, min_likelihood=threshold)
+        blocked = TokenBlocker().candidates(small_restaurant.store, min_likelihood=threshold)
+        assert naive.to_key_set() <= blocked.to_key_set() | naive.to_key_set()
+        assert blocked.to_key_set() == naive.to_key_set()
+
+
+class TestLikelihoodEstimators:
+    def test_simjoin_prefix_and_naive_agree(self, small_restaurant):
+        threshold = 0.35
+        fast = SimJoinLikelihood(use_prefix_filter=True).estimate(
+            small_restaurant.store, min_likelihood=threshold
+        )
+        slow = SimJoinLikelihood(use_prefix_filter=False).estimate(
+            small_restaurant.store, min_likelihood=threshold
+        )
+        assert fast.to_key_set() == slow.to_key_set()
+
+    def test_simjoin_zero_threshold_returns_all_pairs(self, example_store):
+        pairs = SimJoinLikelihood().estimate(example_store, min_likelihood=0.0)
+        assert len(pairs) == 36
+
+    def test_custom_likelihood_requires_similarity(self):
+        with pytest.raises(ValueError):
+            CustomLikelihood()
+
+    def test_custom_likelihood_runs(self, example_store):
+        estimator = CustomLikelihood(similarity=JaccardRecordSimilarity(["product_name"]))
+        pairs = estimator.estimate(example_store, min_likelihood=0.3)
+        assert len(pairs) == 10

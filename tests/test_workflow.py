@@ -1,0 +1,185 @@
+"""Integration tests: the hybrid workflow, machine-only baselines, CrowdSQL."""
+
+import pytest
+
+from repro.core.baselines import SimJoinRanker, SVMRanker, human_only_hit_count
+from repro.core.config import WorkflowConfig
+from repro.core.crowdsql import crowd_equijoin
+from repro.core.workflow import HybridWorkflow
+from repro.crowd.worker import WorkerPool, Worker, WorkerProfile
+from repro.datasets.base import Dataset
+from repro.datasets.paper_example import paper_example_matches, paper_example_store
+from repro.evaluation.metrics import precision_recall
+
+
+@pytest.fixture(scope="module")
+def example_dataset():
+    return Dataset(
+        name="paper-example",
+        store=paper_example_store(),
+        ground_truth=paper_example_matches(),
+    )
+
+
+def perfect_pool(size=9):
+    """A pool of perfectly accurate workers for deterministic integration tests."""
+    profile = WorkerProfile(name="perfect", accuracy=1.0)
+    return WorkerPool([Worker(f"p{i}", profile, seed=i) for i in range(size)])
+
+
+class TestWorkflowConfig:
+    def test_defaults_valid(self):
+        config = WorkflowConfig()
+        assert config.hit_type == "cluster"
+        assert config.cluster_generator == "two-tiered"
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"likelihood_threshold": 1.5},
+            {"hit_type": "triples"},
+            {"cluster_size": 1},
+            {"pairs_per_hit": 0},
+            {"assignments_per_hit": 0},
+            {"aggregation": "magic"},
+            {"decision_threshold": 2.0},
+        ],
+    )
+    def test_invalid_configs_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            WorkflowConfig(**kwargs)
+
+
+class TestHybridWorkflowOnPaperExample:
+    def test_end_to_end_reproduces_figure_2(self, example_dataset):
+        """With perfect workers the workflow returns exactly the four matches."""
+        config = WorkflowConfig(
+            likelihood_threshold=0.3,
+            cluster_size=4,
+            similarity_attributes=["product_name"],
+            seed=0,
+        )
+        workflow = HybridWorkflow(config, worker_pool=perfect_pool())
+        result = workflow.resolve(example_dataset)
+        assert result.candidate_count == 10
+        assert result.hit_count == 3
+        assert sorted(result.matches) == sorted(example_dataset.ground_truth)
+        assert result.cost == pytest.approx(3 * 3 * 0.025)
+
+    def test_pair_based_workflow(self, example_dataset):
+        config = WorkflowConfig(
+            likelihood_threshold=0.3,
+            hit_type="pair",
+            pairs_per_hit=2,
+            similarity_attributes=["product_name"],
+        )
+        workflow = HybridWorkflow(config, worker_pool=perfect_pool())
+        result = workflow.resolve(example_dataset)
+        assert result.hit_count == 5
+        assert sorted(result.matches) == sorted(example_dataset.ground_truth)
+
+    def test_majority_aggregation(self, example_dataset):
+        config = WorkflowConfig(
+            likelihood_threshold=0.3,
+            cluster_size=4,
+            similarity_attributes=["product_name"],
+            aggregation="majority",
+        )
+        workflow = HybridWorkflow(config, worker_pool=perfect_pool())
+        result = workflow.resolve(example_dataset)
+        assert sorted(result.matches) == sorted(example_dataset.ground_truth)
+
+    def test_recall_ceiling_reflects_pruning(self, example_dataset):
+        config = WorkflowConfig(
+            likelihood_threshold=0.5,
+            cluster_size=4,
+            similarity_attributes=["product_name"],
+        )
+        workflow = HybridWorkflow(config, worker_pool=perfect_pool())
+        result = workflow.resolve(example_dataset)
+        # Threshold 0.5 keeps only (r1, r2): recall ceiling 1/4.
+        assert result.recall_ceiling == pytest.approx(0.25)
+
+    def test_ranked_pairs_cover_all_candidates(self, example_dataset):
+        config = WorkflowConfig(
+            likelihood_threshold=0.3, cluster_size=4, similarity_attributes=["product_name"]
+        )
+        workflow = HybridWorkflow(config, worker_pool=perfect_pool())
+        result = workflow.resolve(example_dataset)
+        assert len(result.ranked_pairs) == result.candidate_count
+        assert set(result.ranked_pairs) == set(result.likelihoods)
+
+    def test_summary_keys(self, example_dataset):
+        config = WorkflowConfig(likelihood_threshold=0.3, similarity_attributes=["product_name"])
+        result = HybridWorkflow(config, worker_pool=perfect_pool()).resolve(example_dataset)
+        summary = result.summary()
+        assert {"candidates", "hits", "cost_dollars", "matches"} <= set(summary)
+
+
+class TestHybridWorkflowOnSyntheticData:
+    def test_restaurant_quality(self, small_restaurant):
+        config = WorkflowConfig(likelihood_threshold=0.3, cluster_size=6, seed=3)
+        workflow = HybridWorkflow(config)
+        result = workflow.resolve(small_restaurant)
+        precision, recall = precision_recall(result.matches, small_restaurant.ground_truth)
+        assert precision > 0.8
+        assert recall > 0.6
+        assert result.hit_count < result.candidate_count
+
+    def test_qualification_test_changes_latency(self, small_restaurant):
+        base = HybridWorkflow(
+            WorkflowConfig(likelihood_threshold=0.3, cluster_size=6, seed=3)
+        ).resolve(small_restaurant)
+        qt = HybridWorkflow(
+            WorkflowConfig(
+                likelihood_threshold=0.3, cluster_size=6, seed=3, use_qualification_test=True
+            )
+        ).resolve(small_restaurant)
+        assert qt.latency.total_minutes > base.latency.total_minutes
+
+    def test_product_cross_source_candidates(self, small_product):
+        config = WorkflowConfig(likelihood_threshold=0.3, cluster_size=6, seed=1)
+        workflow = HybridWorkflow(config, worker_pool=perfect_pool())
+        result = workflow.resolve(small_product)
+        assert result.candidate_count > 0
+        precision, _recall = precision_recall(result.matches, small_product.ground_truth)
+        assert precision > 0.9
+
+
+class TestBaselines:
+    def test_simjoin_ranker_orders_by_likelihood(self, small_restaurant):
+        ranked = SimJoinRanker(min_likelihood=0.2).rank(small_restaurant)
+        assert len(ranked) > 0
+        # The top-ranked pairs should be dominated by true matches.
+        top = ranked[: max(5, len(small_restaurant.ground_truth) // 2)]
+        hits = sum(1 for key in top if key in small_restaurant.ground_truth)
+        assert hits / len(top) > 0.6
+
+    def test_svm_ranker_runs(self, small_restaurant):
+        ranked = SVMRanker(min_likelihood=0.2, training_size=80, repetitions=1).rank(small_restaurant)
+        assert len(ranked) > 0
+
+    def test_human_only_hit_counts_match_introduction(self):
+        # 10,000 records with k=20: ~5,000,000 pair-based and 250,000 cluster-based HITs.
+        assert human_only_hit_count(10_000, 10) == pytest.approx(5_000_000, rel=0.01)
+        assert human_only_hit_count(10_000, 20, cluster_based=True) == pytest.approx(125_000, rel=0.01)
+        with pytest.raises(ValueError):
+            human_only_hit_count(1, 10)
+
+
+class TestCrowdSQL:
+    def test_crowd_equijoin_on_paper_example(self):
+        store = paper_example_store()
+        matches = crowd_equijoin(
+            store,
+            attribute="product_name",
+            ground_truth=paper_example_matches(),
+            likelihood_threshold=0.3,
+            cluster_size=4,
+            seed=1,
+        )
+        assert ("r1", "r2") in matches
+        assert all(id_a < id_b for id_a, id_b in matches)
+        # The simulated crowd is imperfect, but most returned pairs are real.
+        correct = len(set(matches) & paper_example_matches())
+        assert correct >= len(matches) - 1
