@@ -1,0 +1,179 @@
+"""Scaling benchmark for the similarity-join backends.
+
+Times the ``naive``, ``prefix`` and ``vectorized`` join engines on
+synthetically scaled Restaurant-style (self-join) and Product-style
+(cross-source) stores, verifies that all backends return byte-identical
+pair sets, and reports the speedups over the naive all-pairs scan.
+
+Unlike the figure/table benchmarks this is a standalone script (not a
+pytest-benchmark module) so CI can invoke it directly::
+
+    PYTHONPATH=src python benchmarks/bench_simjoin_scaling.py            # full run
+    PYTHONPATH=src python benchmarks/bench_simjoin_scaling.py --smoke    # <30 s CI gate
+
+The full run asserts the acceptance criterion of the engine work: the
+vectorized backend must be at least ``--min-speedup`` (default 5x) faster
+than the naive scan at the largest store size.  Any pair-set mismatch or
+missed speedup exits non-zero so perf regressions fail loudly.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Dict, List, Optional, Tuple
+
+from repro.datasets.product import ProductGenerator
+from repro.datasets.restaurant import RestaurantGenerator
+from repro.evaluation.reporting import format_table
+from repro.records.pairs import PairSet
+from repro.records.record import RecordStore
+from repro.simjoin.backend import available_backends, get_backend
+
+BACKENDS = ("naive", "prefix", "vectorized")
+
+
+def build_workloads(sizes: List[int], threshold: float, seed: int):
+    """Yield (label, store, cross_sources, threshold) tuples to benchmark."""
+    for size in sizes:
+        dataset = RestaurantGenerator(
+            record_count=size, duplicate_pairs=max(1, size // 8), seed=seed
+        ).generate()
+        yield f"restaurant/{size}", dataset.store, None, threshold
+    # One cross-source workload at the largest size exercises the bipartite
+    # join path (the Product dataset shape: two sources, record linkage).
+    largest = sizes[-1]
+    product = ProductGenerator(
+        shared_entities=max(1, largest // 2),
+        extra_buy_duplicates=max(1, largest // 20),
+        abt_only=max(1, largest // 20),
+        buy_only=max(1, largest // 20),
+        seed=seed,
+    ).generate()
+    yield f"product/{len(product.store)}", product.store, product.cross_sources, threshold
+
+
+def time_backend(
+    name: str,
+    store: RecordStore,
+    threshold: float,
+    cross_sources: Optional[Tuple[str, str]],
+    repeats: int,
+) -> Tuple[float, PairSet]:
+    backend = get_backend(name)
+    best = float("inf")
+    pairs: PairSet = PairSet()
+    for _ in range(repeats):
+        start = time.perf_counter()
+        pairs = backend.join(store, threshold, cross_sources=cross_sources)
+        best = min(best, time.perf_counter() - start)
+    return best, pairs
+
+
+def verify_identical(results: Dict[str, PairSet], label: str) -> List[str]:
+    """Return human-readable mismatch descriptions (empty = all identical)."""
+    problems: List[str] = []
+    reference = results["naive"]
+    reference_keys = reference.to_key_set()
+    for name, pairs in results.items():
+        if name == "naive":
+            continue
+        if pairs.to_key_set() != reference_keys:
+            missing = len(reference_keys - pairs.to_key_set())
+            extra = len(pairs.to_key_set() - reference_keys)
+            problems.append(
+                f"{label}: backend {name!r} pair set differs from naive "
+                f"({missing} missing, {extra} extra)"
+            )
+            continue
+        worst = 0.0
+        for pair in reference:
+            other = pairs.get(pair.id_a, pair.id_b)
+            worst = max(worst, abs((other.likelihood or 0.0) - (pair.likelihood or 0.0)))
+        if worst > 1e-9:
+            problems.append(
+                f"{label}: backend {name!r} likelihoods differ from naive by {worst:.3e}"
+            )
+    return problems
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="small store sizes and a single repeat (the <30 s CI gate)",
+    )
+    parser.add_argument(
+        "--sizes", type=int, nargs="+", default=None,
+        help="record counts to benchmark (default: 500 1000 2000; smoke: 150 300)",
+    )
+    parser.add_argument("--threshold", type=float, default=0.3, help="join threshold")
+    parser.add_argument("--seed", type=int, default=7, help="dataset generation seed")
+    parser.add_argument(
+        "--repeats", type=int, default=None,
+        help="timing repetitions per backend (best is reported; default 2, smoke 1)",
+    )
+    parser.add_argument(
+        "--min-speedup", type=float, default=5.0,
+        help="required vectorized-over-naive speedup at the largest size (full runs)",
+    )
+    args = parser.parse_args(argv)
+
+    sizes = args.sizes or ([150, 300] if args.smoke else [500, 1000, 2000])
+    repeats = args.repeats or (1 if args.smoke else 2)
+    missing = [name for name in BACKENDS if name not in available_backends()]
+    if missing:
+        print(f"error: backends not registered: {missing}", file=sys.stderr)
+        return 2
+
+    rows = []
+    problems: List[str] = []
+    largest_speedup = None
+    for label, store, cross_sources, threshold in build_workloads(
+        sizes, args.threshold, args.seed
+    ):
+        results: Dict[str, PairSet] = {}
+        timings: Dict[str, float] = {}
+        for name in BACKENDS:
+            timings[name], results[name] = time_backend(
+                name, store, threshold, cross_sources, repeats
+            )
+        problems.extend(verify_identical(results, label))
+        for name in BACKENDS:
+            speedup = timings["naive"] / timings[name] if timings[name] > 0 else float("inf")
+            rows.append({
+                "workload": label,
+                "backend": name,
+                "pairs": len(results[name]),
+                "seconds": f"{timings[name]:.4f}",
+                "speedup": f"{speedup:.1f}x",
+            })
+            if name == "vectorized" and label == f"restaurant/{sizes[-1]}":
+                largest_speedup = speedup
+
+    print(format_table(
+        rows,
+        columns=["workload", "backend", "pairs", "seconds", "speedup"],
+        title=f"Similarity-join backend scaling — threshold {args.threshold}, "
+              f"best of {repeats} run(s)",
+    ))
+
+    if problems:
+        for problem in problems:
+            print(f"MISMATCH: {problem}", file=sys.stderr)
+        return 1
+    print("all backends returned identical pair sets")
+    if not args.smoke and largest_speedup is not None and largest_speedup < args.min_speedup:
+        print(
+            f"FAIL: vectorized speedup {largest_speedup:.1f}x at {sizes[-1]} records "
+            f"is below the required {args.min_speedup:.1f}x",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

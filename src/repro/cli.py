@@ -33,9 +33,19 @@ from repro.evaluation.metrics import f1_score, precision_recall
 from repro.evaluation.reporting import format_table
 from repro.evaluation.threshold_table import threshold_table
 from repro.hit.generator import available_generators, get_cluster_generator
+from repro.simjoin.backend import AUTO_BACKEND, available_backends
 from repro.simjoin.likelihood import SimJoinLikelihood
 
 _DATASETS = ("restaurant", "product", "product-dup")
+
+
+def _add_backend_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--join-backend",
+        choices=(AUTO_BACKEND, *available_backends()),
+        default=AUTO_BACKEND,
+        help="similarity-join engine for the machine pass (auto picks by store size)",
+    )
 
 
 def load_dataset(name: str, scale: float, seed: int) -> Dataset:
@@ -71,7 +81,7 @@ def _cmd_threshold_table(args: argparse.Namespace) -> int:
 
 def _cmd_generate_hits(args: argparse.Namespace) -> int:
     dataset = load_dataset(args.dataset, args.scale, args.seed)
-    pairs = SimJoinLikelihood().estimate(
+    pairs = SimJoinLikelihood(backend=args.join_backend).estimate(
         dataset.store, min_likelihood=args.threshold, cross_sources=dataset.cross_sources
     )
     rows = []
@@ -101,6 +111,7 @@ def _cmd_resolve(args: argparse.Namespace) -> int:
         cluster_size=args.cluster_size,
         pairs_per_hit=args.pairs_per_hit,
         use_qualification_test=args.qualification_test,
+        join_backend=args.join_backend,
         seed=args.seed,
     )
     result = HybridWorkflow(config).resolve(dataset)
@@ -137,6 +148,7 @@ def build_parser() -> argparse.ArgumentParser:
     hits.add_argument("--cluster-size", type=int, default=10, help="cluster-size threshold k")
     hits.add_argument("--algorithm", action="append", choices=available_generators(),
                       help="algorithm(s) to run (default: all)")
+    _add_backend_argument(hits)
     hits.set_defaults(handler=_cmd_generate_hits)
 
     resolve = subparsers.add_parser("resolve", help="run the full hybrid workflow")
@@ -147,6 +159,7 @@ def build_parser() -> argparse.ArgumentParser:
     resolve.add_argument("--pairs-per-hit", type=int, default=16)
     resolve.add_argument("--qualification-test", action="store_true",
                          help="require workers to pass a qualification test")
+    _add_backend_argument(resolve)
     resolve.set_defaults(handler=_cmd_resolve)
     return parser
 

@@ -5,6 +5,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
+from repro.simjoin.backend import AUTO_BACKEND, available_backends
+
 
 @dataclass
 class WorkflowConfig:
@@ -24,6 +26,9 @@ class WorkflowConfig:
     * ``aggregation`` — ``"dawid-skene"`` (the paper) or ``"majority"``.
     * ``similarity_attributes`` — attributes pooled by the simjoin
       likelihood (``None`` = all).
+    * ``join_backend`` — similarity-join engine for the machine pass
+      (``"auto"``, ``"naive"``, ``"prefix"`` or ``"vectorized"``); all
+      engines return identical pair sets, the choice only affects speed.
     * ``seed`` — seed for the crowd simulation.
     """
 
@@ -37,6 +42,7 @@ class WorkflowConfig:
     use_qualification_test: bool = False
     aggregation: str = "dawid-skene"
     similarity_attributes: Optional[Sequence[str]] = None
+    join_backend: str = AUTO_BACKEND
     decision_threshold: float = 0.5
     seed: int = 0
 
@@ -53,5 +59,9 @@ class WorkflowConfig:
             raise ValueError("assignments_per_hit must be at least 1")
         if self.aggregation not in ("dawid-skene", "majority"):
             raise ValueError("aggregation must be 'dawid-skene' or 'majority'")
+        if self.join_backend != AUTO_BACKEND and self.join_backend not in available_backends():
+            raise ValueError(
+                f"join_backend must be '{AUTO_BACKEND}' or one of {available_backends()}"
+            )
         if not 0.0 <= self.decision_threshold <= 1.0:
             raise ValueError("decision_threshold must be in [0, 1]")

@@ -61,7 +61,8 @@ class HybridWorkflow:
     ) -> None:
         self.config = config or WorkflowConfig()
         self.estimator = estimator or SimJoinLikelihood(
-            attributes=self.config.similarity_attributes
+            attributes=self.config.similarity_attributes,
+            backend=self.config.join_backend,
         )
         if platform is not None:
             self.platform = platform
@@ -119,12 +120,16 @@ class HybridWorkflow:
         }
         # Pairs the crowd never voted on (possible when a cluster HIT omits a
         # candidate pair that another HIT was supposed to cover) fall back to
-        # the machine likelihood scaled below any crowd-confirmed pair.
-        ranked = sorted(
-            likelihoods,
-            key=lambda key: (posteriors.get(key, -1.0), likelihoods[key]),
-            reverse=True,
-        )
+        # the machine likelihood: below every crowd-confirmed match, above
+        # every crowd-rejected pair.
+        def rank_key(key: PairKey) -> Tuple[int, float, float]:
+            posterior = posteriors.get(key)
+            if posterior is None:
+                return (1, likelihoods[key], likelihoods[key])
+            tier = 2 if posterior > self.config.decision_threshold else 0
+            return (tier, posterior, likelihoods[key])
+
+        ranked = sorted(likelihoods, key=rank_key, reverse=True)
         matches = [
             key
             for key in ranked

@@ -40,8 +40,13 @@ class CrowdRunResult:
 
     @property
     def assignment_count(self) -> int:
-        """Total number of completed assignments."""
-        return self.hit_count * self.assignments_per_hit
+        """Total number of actually completed assignments.
+
+        Counted from the recorded per-assignment timings rather than derived
+        as ``hit_count * assignments_per_hit``, which would over-report
+        whenever a platform leaves assignments unfilled.
+        """
+        return len(self.assignment_seconds)
 
     def votes_by_pair(self) -> Dict[Tuple[str, str], List[bool]]:
         """Group the raw answers by pair key."""

@@ -346,13 +346,16 @@ def column_generation_packing(
         capacity=capacity,
         sizes=list(sizes),
         method="column-generation",
-        lower_bound=lp_lower_bound or size_lower_bound(sizes, capacity),
+        lower_bound=(
+            lp_lower_bound if lp_lower_bound is not None else size_lower_bound(sizes, capacity)
+        ),
     )
     # The rounding repair can only over-use bins, never under-cover items;
     # fall back to plain FFD in the (never observed) case it is worse.
     ffd = first_fit_decreasing(sizes, capacity)
     if not solution.is_feasible() or solution.bin_count > ffd.bin_count:
-        ffd.lower_bound = solution.lower_bound or ffd.lower_bound
+        if solution.lower_bound is not None:
+            ffd.lower_bound = solution.lower_bound
         ffd.method = "column-generation(ffd-fallback)"
         return ffd
     return solution

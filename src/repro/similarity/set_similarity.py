@@ -13,8 +13,6 @@ from typing import Iterable, Sequence, Set
 
 
 def _as_set(tokens: Iterable[str]) -> Set[str]:
-    if isinstance(tokens, (set, frozenset)):
-        return set(tokens)
     return set(tokens)
 
 

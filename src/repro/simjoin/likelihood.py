@@ -3,8 +3,9 @@
 A :class:`LikelihoodEstimator` turns a record store into a scored
 :class:`~repro.records.pairs.PairSet`.  :class:`SimJoinLikelihood` is the
 estimator the paper evaluates ("simjoin"): Jaccard similarity over pooled
-token sets, computed either naively (all pairs) or through a prefix-filter
-join / blocker when a positive pruning threshold is given.
+token sets, computed by one of the interchangeable join backends of
+:mod:`repro.simjoin.backend` (naive all-pairs scan, prefix-filtering join,
+or blocked sparse-matrix join), all of which return identical pair sets.
 """
 
 from __future__ import annotations
@@ -14,9 +15,9 @@ from typing import Optional, Sequence, Tuple
 
 from repro.records.pairs import PairSet
 from repro.records.record import RecordStore
-from repro.similarity.record_similarity import JaccardRecordSimilarity, RecordSimilarity
+from repro.similarity.record_similarity import RecordSimilarity
 from repro.simjoin.allpairs import all_pairs_similarity
-from repro.simjoin.prefix_filter import PrefixFilterJoin
+from repro.simjoin.backend import AUTO_BACKEND, resolve_backend
 
 
 class LikelihoodEstimator:
@@ -43,14 +44,19 @@ class SimJoinLikelihood(LikelihoodEstimator):
     attributes:
         Attributes pooled into the token set (``None`` = all attributes).
     use_prefix_filter:
-        When True and the requested threshold is positive, use the
-        prefix-filtering join instead of the naive all-pairs scan.  Both
-        produce exactly the same pair set; the filter is just faster on
-        larger stores.
+        Legacy switch kept for backwards compatibility: setting it to False
+        (with ``backend="auto"``) forces the naive all-pairs scan, which is
+        what it always meant.
+    backend:
+        Join backend name (see :func:`repro.simjoin.backend.available_backends`)
+        or ``"auto"`` to pick one from the store size and threshold.  Every
+        backend produces exactly the same pair set; the choice only affects
+        speed.
     """
 
     attributes: Optional[Sequence[str]] = None
     use_prefix_filter: bool = True
+    backend: str = AUTO_BACKEND
     name: str = "simjoin"
 
     def estimate(
@@ -59,15 +65,24 @@ class SimJoinLikelihood(LikelihoodEstimator):
         min_likelihood: float = 0.0,
         cross_sources: Optional[Tuple[str, str]] = None,
     ) -> PairSet:
-        if min_likelihood > 0.0 and self.use_prefix_filter:
-            join = PrefixFilterJoin(threshold=min_likelihood, attributes=self.attributes)
-            return join.join(store, cross_sources=cross_sources)
-        similarity: RecordSimilarity = JaccardRecordSimilarity(self.attributes)
-        return all_pairs_similarity(
+        backend_name = self.backend
+        if backend_name == AUTO_BACKEND and not self.use_prefix_filter:
+            backend_name = "naive"
+        engine = resolve_backend(
+            backend_name, record_count=len(store), threshold=min_likelihood
+        )
+        pairs = engine.join(
             store,
-            similarity=similarity,
-            min_likelihood=min_likelihood,
+            min_likelihood,
+            attributes=self.attributes,
             cross_sources=cross_sources,
+        )
+        # The engines discover identical pairs in different orders, and
+        # PairSet insertion order feeds downstream tie-breaking (cluster-HIT
+        # grouping of equal-likelihood pairs).  Canonicalize so resolution
+        # results are backend-independent.
+        return PairSet(
+            sorted(pairs, key=lambda pair: (-(pair.likelihood or 0.0), pair.key))
         )
 
 

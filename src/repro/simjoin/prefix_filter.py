@@ -3,10 +3,23 @@
 A faithful, from-scratch implementation of the prefix-filtering principle
 used by AllPairs/PPJoin-style similarity joins ([2], [26] in the paper):
 for a Jaccard threshold ``t``, two token sets can only reach similarity ``t``
-if their (global-frequency-ordered) prefixes share at least one token.
-Candidates found through the prefix inverted index are then verified
-exactly, so the join returns exactly the pairs whose Jaccard similarity is
-at or above the threshold.
+if their (global-frequency-ordered) prefixes share at least one token.  On
+top of the basic prefix index two additional filters shrink the candidate
+set that must be verified exactly:
+
+* **length filter** — Jaccard >= t requires ``t * |x| <= |y|``, so records
+  are processed in ascending token-set size and index entries from
+  too-small sets are skipped;
+* **positional filter (PPJoin)** — a collision at prefix positions ``i`` of
+  ``x`` and ``j`` of ``y`` bounds the total overlap by the already-seen
+  collisions plus ``min(|x| - i, |y| - j)``; candidates whose bound falls
+  below the required overlap ``ceil(t / (1 + t) * (|x| + |y|))`` are pruned.
+
+Every surviving candidate is verified exactly, so the join returns exactly
+the pairs whose Jaccard similarity is at or above the threshold — including
+pairs of empty-token records, which are textually identical (similarity
+1.0) yet invisible to the inverted index and therefore enumerated
+separately.
 """
 
 from __future__ import annotations
@@ -16,9 +29,16 @@ from collections import defaultdict
 from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
 
 from repro.records.pairs import PairSet, RecordPair
-from repro.records.record import Record, RecordStore
+from repro.records.record import RecordStore
 from repro.records.tokenize import WhitespaceTokenizer, record_token_set
 from repro.similarity.set_similarity import jaccard_similarity
+
+# Overlap bounds are computed in floating point; nudging comparisons by this
+# epsilon keeps rounding errors from pruning a borderline true pair (the
+# safe direction: at worst a few extra candidates reach exact verification).
+_EPS = 1e-9
+
+_PRUNED = -1
 
 
 class PrefixFilterJoin:
@@ -64,27 +84,65 @@ class PrefixFilterJoin:
         }
         source_of = {record.record_id: record.source for record in store}
 
-        index: Dict[str, List[str]] = defaultdict(list)
+        # Ascending size order makes the length filter one-sided: every
+        # already-indexed set is no larger than the probing set, so only
+        # ``|y| >= t * |x|`` needs checking when probing with x.
+        probe_order = sorted(sorted_tokens, key=lambda rid: (len(sorted_tokens[rid]), rid))
+
+        # token -> [(record_id, size, prefix position)]
+        index: Dict[str, List[Tuple[str, int, int]]] = defaultdict(list)
         candidates: Dict[Tuple[str, str], bool] = {}
-        for record in store:
-            record_id = record.record_id
+        for record_id in probe_order:
             tokens = sorted_tokens[record_id]
+            size = len(tokens)
             prefix = self._prefix(tokens)
-            for token in prefix:
-                for other_id in index[token]:
-                    if cross_sources is not None and not self._cross(
-                        source_of[record_id], source_of[other_id], cross_sources
-                    ):
+            min_size = self.threshold * size - _EPS
+            # Accumulated prefix-collision counts per candidate (PPJoin's
+            # positional filter); _PRUNED marks candidates whose overlap
+            # upper bound already fell below the required overlap.
+            overlaps: Dict[str, int] = {}
+            for position, token in enumerate(prefix):
+                for other_id, other_size, other_position in index[token]:
+                    if other_size < min_size:
+                        continue  # length filter
+                    seen = overlaps.get(other_id, 0)
+                    if seen == _PRUNED:
                         continue
-                    key = (other_id, record_id) if other_id < record_id else (record_id, other_id)
-                    candidates[key] = True
-                index[token].append(record_id)
+                    bound = seen + 1 + min(size - position - 1, other_size - other_position - 1)
+                    required = math.ceil(
+                        self.threshold / (1.0 + self.threshold) * (size + other_size) - _EPS
+                    )
+                    if bound < required:
+                        overlaps[other_id] = _PRUNED  # positional filter
+                        continue
+                    overlaps[other_id] = seen + 1
+                index[token].append((record_id, size, position))
+            for other_id, seen in overlaps.items():
+                if seen == _PRUNED:
+                    continue
+                if cross_sources is not None and not self._cross(
+                    source_of[record_id], source_of[other_id], cross_sources
+                ):
+                    continue
+                key = (other_id, record_id) if other_id < record_id else (record_id, other_id)
+                candidates[key] = True
 
         result = PairSet()
         for id_a, id_b in candidates:
             similarity = jaccard_similarity(token_sets[id_a], token_sets[id_b])
             if similarity >= self.threshold:
                 result.add(RecordPair(id_a, id_b, likelihood=similarity))
+
+        # Empty token sets never enter the inverted index, but two empty
+        # records are textually identical (Jaccard 1.0) and must be joined.
+        empty_ids = [record_id for record_id in probe_order if not sorted_tokens[record_id]]
+        for i in range(len(empty_ids)):
+            for j in range(i + 1, len(empty_ids)):
+                if cross_sources is not None and not self._cross(
+                    source_of[empty_ids[i]], source_of[empty_ids[j]], cross_sources
+                ):
+                    continue
+                result.add(RecordPair(empty_ids[i], empty_ids[j], likelihood=1.0))
         return result
 
     # ------------------------------------------------------------- internals
@@ -114,6 +172,6 @@ class PrefixFilterJoin:
         size = len(sorted_tokens)
         if size == 0:
             return []
-        prefix_length = size - int(math.ceil(self.threshold * size)) + 1
+        prefix_length = size - int(math.ceil(self.threshold * size - _EPS)) + 1
         prefix_length = max(1, min(size, prefix_length))
         return sorted_tokens[:prefix_length]

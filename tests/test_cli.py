@@ -3,6 +3,7 @@
 import pytest
 
 from repro.cli import build_parser, load_dataset, main
+from repro.simjoin.vectorized import HAVE_SCIPY
 
 
 class TestLoadDataset:
@@ -29,6 +30,13 @@ class TestParser:
         assert args.dataset == "restaurant"
         assert args.threshold == 0.4
         assert args.qualification_test is True
+        assert args.join_backend == "auto"
+
+    def test_parses_join_backend(self):
+        args = build_parser().parse_args(["resolve", "--join-backend", "vectorized"])
+        assert args.join_backend == "vectorized"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["resolve", "--join-backend", "quantum"])
 
 
 class TestCommands:
@@ -62,3 +70,16 @@ class TestCommands:
         assert exit_code == 0
         assert "precision / recall" in output
         assert "crowd cost" in output
+
+    def test_resolve_command_backends_agree(self, capsys):
+        """Every join backend drives the workflow to the same candidate set."""
+        backends = ("naive", "prefix") + (("vectorized",) if HAVE_SCIPY else ())
+        outputs = {}
+        for backend in backends:
+            exit_code = main(
+                ["resolve", "--dataset", "product", "--scale", "0.05", "--threshold", "0.3",
+                 "--cluster-size", "6", "--seed", "2", "--join-backend", backend]
+            )
+            assert exit_code == 0
+            outputs[backend] = capsys.readouterr().out
+        assert len(set(outputs.values())) == 1

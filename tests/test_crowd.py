@@ -3,7 +3,7 @@
 import pytest
 
 from repro.crowd.latency import LatencyModel
-from repro.crowd.platform import SimulatedCrowdPlatform
+from repro.crowd.platform import CrowdRunResult, SimulatedCrowdPlatform
 from repro.crowd.pricing import PricingModel
 from repro.crowd.qualification import QualificationTest
 from repro.crowd.worker import NOISY, RELIABLE, SPAMMER, Worker, WorkerPool, WorkerProfile
@@ -228,3 +228,19 @@ class TestPlatform:
     def test_invalid_assignments(self):
         with pytest.raises(ValueError):
             SimulatedCrowdPlatform(assignments_per_hit=0)
+
+
+class TestCrowdRunResultAssignmentCount:
+    def test_counts_completed_assignments(self):
+        result = CrowdRunResult(
+            assignment_seconds=[30.0, 40.0, 50.0], hit_count=1, assignments_per_hit=3
+        )
+        assert result.assignment_count == 3
+
+    def test_unfilled_assignments_are_not_counted(self):
+        """Regression: a platform that leaves assignments unfilled must not
+        report hit_count * assignments_per_hit completed assignments."""
+        result = CrowdRunResult(
+            assignment_seconds=[30.0, 40.0, 50.0, 60.0], hit_count=2, assignments_per_hit=3
+        )
+        assert result.assignment_count == 4

@@ -6,10 +6,13 @@ from repro.core.baselines import SimJoinRanker, SVMRanker, human_only_hit_count
 from repro.core.config import WorkflowConfig
 from repro.core.crowdsql import crowd_equijoin
 from repro.core.workflow import HybridWorkflow
+from repro.crowd.platform import CrowdRunResult
 from repro.crowd.worker import WorkerPool, Worker, WorkerProfile
 from repro.datasets.base import Dataset
 from repro.datasets.paper_example import paper_example_matches, paper_example_store
 from repro.evaluation.metrics import precision_recall
+from repro.records.pairs import PairSet, RecordPair
+from repro.records.record import Record, RecordStore
 
 
 @pytest.fixture(scope="module")
@@ -43,6 +46,7 @@ class TestWorkflowConfig:
             {"assignments_per_hit": 0},
             {"aggregation": "magic"},
             {"decision_threshold": 2.0},
+            {"join_backend": "quantum"},
         ],
     )
     def test_invalid_configs_rejected(self, kwargs):
@@ -144,6 +148,78 @@ class TestHybridWorkflowOnSyntheticData:
         assert result.candidate_count > 0
         precision, _recall = precision_recall(result.matches, small_product.ground_truth)
         assert precision > 0.9
+
+
+class _FixedCandidateEstimator:
+    """Estimator stub returning a hand-built candidate pair set."""
+
+    name = "fixed"
+
+    def __init__(self, pairs):
+        self._pairs = pairs
+
+    def estimate(self, store, min_likelihood=0.0, cross_sources=None):
+        return PairSet(self._pairs)
+
+
+class _OmittingPlatform:
+    """Platform stub whose crowd votes omit one of the candidate pairs.
+
+    This is the cluster-HIT failure mode the ranking fallback exists for: a
+    candidate pair that no published HIT ended up covering produces no
+    votes, so aggregation yields no posterior for it.
+    """
+
+    def __init__(self, confirmed, rejected):
+        self.confirmed = confirmed
+        self.rejected = rejected
+
+    def publish(self, batch, true_matches, candidate_pairs=None):
+        votes = [(f"w{i}", self.confirmed, True) for i in range(3)]
+        votes += [(f"w{i}", self.rejected, False) for i in range(3)]
+        return CrowdRunResult(
+            votes=votes,
+            hit_count=batch.hit_count,
+            assignment_seconds=[30.0] * 6,
+        )
+
+
+class TestRankingFallback:
+    """Regression: a cluster HIT omits a high-likelihood candidate pair.
+
+    Unvoted pairs must rank by machine likelihood *below* crowd-confirmed
+    matches but *above* crowd-rejected pairs — a crowd rejection (posterior
+    ~0) is strictly stronger evidence against a match than the machine's
+    0.95 likelihood is for one.
+    """
+
+    def _dataset(self):
+        store = RecordStore()
+        for i in range(1, 5):
+            store.add(Record(f"r{i}", {"name": f"record {i}"}))
+        return Dataset(name="tiny", store=store, ground_truth=frozenset())
+
+    def _resolve(self):
+        candidates = [
+            RecordPair("r1", "r2", likelihood=0.60),  # crowd-confirmed
+            RecordPair("r2", "r3", likelihood=0.95),  # omitted by the HITs
+            RecordPair("r3", "r4", likelihood=0.40),  # crowd-rejected
+        ]
+        workflow = HybridWorkflow(
+            WorkflowConfig(likelihood_threshold=0.2),
+            estimator=_FixedCandidateEstimator(candidates),
+            platform=_OmittingPlatform(confirmed=("r1", "r2"), rejected=("r3", "r4")),
+        )
+        return workflow.resolve(self._dataset())
+
+    def test_unvoted_pair_ranks_between_confirmed_and_rejected(self):
+        result = self._resolve()
+        assert ("r2", "r3") not in result.posteriors
+        assert result.ranked_pairs == [("r1", "r2"), ("r2", "r3"), ("r3", "r4")]
+
+    def test_unvoted_pair_is_not_a_match(self):
+        result = self._resolve()
+        assert result.matches == [("r1", "r2")]
 
 
 class TestBaselines:
