@@ -21,6 +21,7 @@ from repro.core import (
     HybridWorkflow,
     ResolutionResult,
     SimJoinRanker,
+    StreamingDelta,
     SVMRanker,
     WorkflowConfig,
     crowd_equijoin,
@@ -43,13 +44,18 @@ from repro.hit import (
     get_cluster_generator,
 )
 from repro.records import PairSet, Record, RecordPair, RecordStore
+from repro.streaming import IncrementalSimJoin, StreamingResolver, resolve_stream
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "HybridWorkflow",
     "WorkflowConfig",
     "ResolutionResult",
+    "StreamingDelta",
+    "StreamingResolver",
+    "IncrementalSimJoin",
+    "resolve_stream",
     "SimJoinRanker",
     "SVMRanker",
     "crowd_equijoin",

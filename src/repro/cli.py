@@ -8,6 +8,9 @@ Three subcommands expose the most common workflows without writing Python:
   report how many HITs it needs (the Figure-10/11 quantity).
 * ``resolve`` — run the full hybrid workflow against the simulated crowd
   and print cost, latency and result quality.
+* ``resolve-stream`` — replay the dataset through the streaming incremental
+  resolver in arrival batches and print, per batch, how little work the
+  dirty-component machinery had to redo.
 
 Examples::
 
@@ -15,6 +18,8 @@ Examples::
     python -m repro.cli generate-hits --dataset product --scale 0.2 \
         --threshold 0.2 --algorithm two-tiered --cluster-size 10
     python -m repro.cli resolve --dataset restaurant --threshold 0.35
+    python -m repro.cli resolve-stream --dataset restaurant --threshold 0.35 \
+        --batch-size 64 --recrowd-policy never
 """
 
 from __future__ import annotations
@@ -35,6 +40,7 @@ from repro.evaluation.threshold_table import threshold_table
 from repro.hit.generator import available_generators, get_cluster_generator
 from repro.simjoin.backend import AUTO_BACKEND, available_backends
 from repro.simjoin.likelihood import SimJoinLikelihood
+from repro.streaming import StreamingResolver
 
 _DATASETS = ("restaurant", "product", "product-dup")
 
@@ -130,6 +136,48 @@ def _cmd_resolve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_resolve_stream(args: argparse.Namespace) -> int:
+    dataset = load_dataset(args.dataset, args.scale, args.seed)
+    config = WorkflowConfig(
+        likelihood_threshold=args.threshold,
+        hit_type=args.hit_type,
+        cluster_size=args.cluster_size,
+        pairs_per_hit=args.pairs_per_hit,
+        join_backend=args.join_backend,
+        vote_mode="per-pair",
+        stream_batch_size=args.batch_size,
+        recrowd_policy=args.recrowd_policy,
+        streaming_aggregation_scope=args.aggregation_scope,
+        seed=args.seed,
+    )
+    resolver = StreamingResolver(config=config, cross_sources=dataset.cross_sources)
+    resolver.add_truth(dataset.ground_truth)
+    records = list(dataset.store)
+    result = resolver.snapshot()
+    print(f"streaming {dataset.name}: {len(records)} records in batches of "
+          f"{config.stream_batch_size} (re-crowd policy: {config.recrowd_policy})")
+    for start in range(0, len(records), config.stream_batch_size):
+        result = resolver.add_batch(records[start : start + config.stream_batch_size])
+        delta = result.delta
+        print(f"  batch {delta.batch_index:>3}: +{delta.new_records} records, "
+              f"+{delta.new_candidate_pairs} pairs | "
+              f"{delta.dirty_components} dirty / {delta.clean_components} clean components | "
+              f"{delta.regenerated_hits} HITs regenerated, "
+              f"{delta.crowdsourced_pairs} pairs crowdsourced, "
+              f"{delta.reused_vote_pairs} vote sets reused | "
+              f"matches so far: {len(result.matches)}")
+    precision, recall = precision_recall(result.matches, dataset.ground_truth)
+    print(f"candidates         : {result.candidate_count}")
+    print(f"HITs / assignments : {result.hit_count} / {result.assignment_count} "
+          f"({result.generator_name})")
+    print(f"crowd cost         : ${result.cost:.2f}")
+    print(f"matches found      : {len(result.matches)}")
+    print(f"precision / recall : {precision:.1%} / {recall:.1%} "
+          f"(F1 {f1_score(result.matches, dataset.ground_truth):.3f})")
+    print(f"recall ceiling     : {result.recall_ceiling:.1%}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Build the top-level argument parser."""
     parser = argparse.ArgumentParser(
@@ -161,6 +209,25 @@ def build_parser() -> argparse.ArgumentParser:
                          help="require workers to pass a qualification test")
     _add_backend_argument(resolve)
     resolve.set_defaults(handler=_cmd_resolve)
+
+    stream = subparsers.add_parser(
+        "resolve-stream",
+        help="replay the dataset through the streaming incremental resolver",
+    )
+    _add_dataset_arguments(stream)
+    stream.add_argument("--threshold", type=float, default=0.35, help="likelihood threshold")
+    stream.add_argument("--hit-type", choices=("cluster", "pair"), default="cluster")
+    stream.add_argument("--cluster-size", type=int, default=10)
+    stream.add_argument("--pairs-per-hit", type=int, default=16)
+    stream.add_argument("--batch-size", type=int, default=64,
+                        help="records per arrival batch")
+    stream.add_argument("--recrowd-policy", choices=("never", "dirty"), default="never",
+                        help="re-ask already-voted pairs in dirty components?")
+    stream.add_argument("--aggregation-scope", choices=("component", "global"),
+                        default="component",
+                        help="re-aggregate only dirty components or all votes")
+    _add_backend_argument(stream)
+    stream.set_defaults(handler=_cmd_resolve_stream)
     return parser
 
 

@@ -10,7 +10,8 @@ introduction.
 """
 
 from repro.core.config import WorkflowConfig
-from repro.core.results import ResolutionResult
+from repro.core.ranking import rank_candidates
+from repro.core.results import ResolutionResult, StreamingDelta
 from repro.core.workflow import HybridWorkflow
 from repro.core.baselines import SimJoinRanker, SVMRanker, human_only_hit_count
 from repro.core.crowdsql import crowd_equijoin
@@ -18,6 +19,8 @@ from repro.core.crowdsql import crowd_equijoin
 __all__ = [
     "WorkflowConfig",
     "ResolutionResult",
+    "StreamingDelta",
+    "rank_candidates",
     "HybridWorkflow",
     "SimJoinRanker",
     "SVMRanker",

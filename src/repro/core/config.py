@@ -29,6 +29,21 @@ class WorkflowConfig:
     * ``join_backend`` — similarity-join engine for the machine pass
       (``"auto"``, ``"naive"``, ``"prefix"`` or ``"vectorized"``); all
       engines return identical pair sets, the choice only affects speed.
+    * ``vote_mode`` — how the simulated crowd draws votes:
+      ``"sequential"`` (legacy; votes depend on HIT grouping and publish
+      order) or ``"per-pair"`` (votes are a pure function of the pair key —
+      required for streaming == batch equivalence, see
+      :class:`repro.streaming.StreamingResolver`).
+    * ``stream_batch_size`` — records per arrival batch when a dataset is
+      replayed through the streaming resolver (CLI ``resolve-stream``).
+    * ``recrowd_policy`` — what the streaming resolver does with pairs in a
+      dirty component that already have votes: ``"never"`` keeps the first
+      votes forever (each pair is crowdsourced exactly once), ``"dirty"``
+      re-asks them with fresh votes every time their component is touched.
+    * ``streaming_aggregation_scope`` — ``"component"`` re-aggregates only
+      dirty components on each snapshot (posteriors of untouched components
+      are preserved bit-for-bit), ``"global"`` re-runs the aggregator over
+      all accumulated votes (exactly matches one-shot Dawid-Skene).
     * ``seed`` — seed for the crowd simulation.
     """
 
@@ -43,6 +58,10 @@ class WorkflowConfig:
     aggregation: str = "dawid-skene"
     similarity_attributes: Optional[Sequence[str]] = None
     join_backend: str = AUTO_BACKEND
+    vote_mode: str = "sequential"
+    stream_batch_size: int = 256
+    recrowd_policy: str = "never"
+    streaming_aggregation_scope: str = "component"
     decision_threshold: float = 0.5
     seed: int = 0
 
@@ -63,5 +82,13 @@ class WorkflowConfig:
             raise ValueError(
                 f"join_backend must be '{AUTO_BACKEND}' or one of {available_backends()}"
             )
+        if self.vote_mode not in ("sequential", "per-pair"):
+            raise ValueError("vote_mode must be 'sequential' or 'per-pair'")
+        if self.stream_batch_size < 1:
+            raise ValueError("stream_batch_size must be at least 1")
+        if self.recrowd_policy not in ("never", "dirty"):
+            raise ValueError("recrowd_policy must be 'never' or 'dirty'")
+        if self.streaming_aggregation_scope not in ("component", "global"):
+            raise ValueError("streaming_aggregation_scope must be 'component' or 'global'")
         if not 0.0 <= self.decision_threshold <= 1.0:
             raise ValueError("decision_threshold must be in [0, 1]")

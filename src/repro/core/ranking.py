@@ -1,0 +1,49 @@
+"""Posterior/likelihood ranking shared by batch and streaming resolution.
+
+Both :class:`repro.core.workflow.HybridWorkflow` and
+:class:`repro.streaming.StreamingResolver` end a run the same way: candidate
+pairs are ranked by crowd posterior with the machine likelihood as the
+tie-breaker, pairs the crowd never voted on fall back to their likelihood
+(slotted below every crowd-confirmed match and above every crowd-rejected
+pair), and the final match set is everything whose posterior clears the
+decision threshold.  Keeping the rule in one place guarantees the streaming
+snapshot ranks exactly like a one-shot resolve given the same posteriors
+and likelihoods.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+PairKey = Tuple[str, str]
+
+
+def rank_candidates(
+    likelihoods: Dict[PairKey, float],
+    posteriors: Dict[PairKey, float],
+    decision_threshold: float,
+) -> Tuple[List[PairKey], List[PairKey]]:
+    """Return ``(ranked_pairs, matches)`` for the given scores.
+
+    ``ranked_pairs`` orders every candidate from most to least likely match:
+    crowd-confirmed pairs (posterior above the threshold) first, then
+    unvoted pairs by machine likelihood, then crowd-rejected pairs.
+    ``matches`` is the subset of voted pairs whose posterior is strictly
+    above the decision threshold, in ranked order.
+    """
+
+    def rank_key(key: PairKey) -> Tuple[int, float, float]:
+        posterior = posteriors.get(key)
+        if posterior is None:
+            return (1, likelihoods[key], likelihoods[key])
+        tier = 2 if posterior > decision_threshold else 0
+        return (tier, posterior, likelihoods[key])
+
+    # Pre-sorting by key makes equal-score ties break on ascending pair key
+    # regardless of dict insertion order, so a streaming snapshot (arrival
+    # order) and a one-shot resolve (likelihood order) rank identically.
+    ranked = sorted(sorted(likelihoods), key=rank_key, reverse=True)
+    matches = [
+        key for key in ranked if posteriors.get(key, 0.0) > decision_threshold
+    ]
+    return ranked, matches

@@ -1,4 +1,4 @@
-"""Result object returned by a hybrid-workflow run."""
+"""Result objects returned by hybrid-workflow and streaming runs."""
 
 from __future__ import annotations
 
@@ -8,6 +8,66 @@ from typing import Dict, List, Optional, Tuple
 from repro.crowd.latency import LatencyEstimate
 
 PairKey = Tuple[str, str]
+
+
+@dataclass
+class StreamingDelta:
+    """What one streaming batch changed relative to the previous snapshot.
+
+    Attached to the :class:`ResolutionResult` snapshots produced by
+    :class:`repro.streaming.StreamingResolver`; ``None`` on batch-mode
+    results.  All counts describe the most recent ``add_batch`` call.
+
+    Attributes
+    ----------
+    batch_index:
+        1-based index of the arrival batch that produced this snapshot.
+    new_records / new_candidate_pairs:
+        Records added by the batch and candidate pairs the incremental join
+        discovered for them (new-vs-old plus new-vs-new).
+    dirty_components / clean_components:
+        Components whose membership or edges changed this batch (their HITs
+        were regenerated) vs components left untouched (their votes and
+        posteriors were carried over).
+    dirty_pairs:
+        Candidate pairs living in dirty components.
+    regenerated_hits:
+        HITs generated for the dirty components this batch.
+    crowdsourced_pairs:
+        Pairs for which fresh votes were collected this batch (under the
+        ``"never"`` re-crowd policy: only never-voted pairs).
+    reused_vote_pairs:
+        Previously voted pairs whose existing votes were kept.
+    preserved_posterior_pairs:
+        Pairs in clean components whose cached posterior was reused without
+        re-running the aggregator (component aggregation scope only).
+    """
+
+    batch_index: int = 0
+    new_records: int = 0
+    new_candidate_pairs: int = 0
+    dirty_components: int = 0
+    clean_components: int = 0
+    dirty_pairs: int = 0
+    regenerated_hits: int = 0
+    crowdsourced_pairs: int = 0
+    reused_vote_pairs: int = 0
+    preserved_posterior_pairs: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        """Plain-dict view used by the CLI and benchmark reports."""
+        return {
+            "batch_index": self.batch_index,
+            "new_records": self.new_records,
+            "new_candidate_pairs": self.new_candidate_pairs,
+            "dirty_components": self.dirty_components,
+            "clean_components": self.clean_components,
+            "dirty_pairs": self.dirty_pairs,
+            "regenerated_hits": self.regenerated_hits,
+            "crowdsourced_pairs": self.crowdsourced_pairs,
+            "reused_vote_pairs": self.reused_vote_pairs,
+            "preserved_posterior_pairs": self.preserved_posterior_pairs,
+        }
 
 
 @dataclass
@@ -39,6 +99,9 @@ class ResolutionResult:
         Fraction of ground-truth matches that survived pruning — the best
         recall the crowd phase can possibly achieve (needs ground truth;
         None if unknown).
+    delta:
+        For streaming snapshots, what the latest batch changed
+        (:class:`StreamingDelta`); ``None`` for batch-mode runs.
     """
 
     ranked_pairs: List[PairKey] = field(default_factory=list)
@@ -52,6 +115,7 @@ class ResolutionResult:
     latency: Optional[LatencyEstimate] = None
     recall_ceiling: Optional[float] = None
     generator_name: str = ""
+    delta: Optional[StreamingDelta] = None
 
     def summary(self) -> Dict[str, object]:
         """Compact dictionary summary used by reports and examples."""

@@ -20,6 +20,7 @@ from typing import Dict, FrozenSet, Iterable, Optional, Tuple
 from repro.aggregation.dawid_skene import DawidSkeneAggregator
 from repro.aggregation.majority import MajorityAggregator
 from repro.core.config import WorkflowConfig
+from repro.core.ranking import rank_candidates
 from repro.core.results import ResolutionResult
 from repro.crowd.latency import LatencyModel
 from repro.crowd.platform import SimulatedCrowdPlatform
@@ -34,6 +35,32 @@ from repro.records.record import RecordStore
 from repro.simjoin.likelihood import LikelihoodEstimator, SimJoinLikelihood
 
 PairKey = Tuple[str, str]
+
+
+def build_hit_generator(config: WorkflowConfig):
+    """Instantiate the HIT generator the config asks for.
+
+    Shared by the batch workflow and the streaming resolver so both batch
+    pairs into HITs identically.
+    """
+    if config.hit_type == "pair":
+        return PairHITGenerator(pairs_per_hit=config.pairs_per_hit)
+    return get_cluster_generator(
+        config.cluster_generator,
+        cluster_size=config.cluster_size,
+        **(
+            {"packing_method": config.packing_method}
+            if config.cluster_generator == "two-tiered"
+            else {}
+        ),
+    )
+
+
+def build_aggregator(config: WorkflowConfig):
+    """Instantiate the vote aggregator the config asks for."""
+    if config.aggregation == "majority":
+        return MajorityAggregator()
+    return DawidSkeneAggregator()
 
 
 class HybridWorkflow:
@@ -75,6 +102,7 @@ class HybridWorkflow:
                 pricing=pricing,
                 latency=latency,
                 seed=self.config.seed,
+                vote_mode=self.config.vote_mode,
             )
 
     # -------------------------------------------------------------- stages
@@ -88,24 +116,10 @@ class HybridWorkflow:
 
     def generate_hits(self, candidates: PairSet):
         """Stage 2: batch the surviving pairs into HITs."""
-        if self.config.hit_type == "pair":
-            generator = PairHITGenerator(pairs_per_hit=self.config.pairs_per_hit)
-            return generator.generate(candidates)
-        generator = get_cluster_generator(
-            self.config.cluster_generator,
-            cluster_size=self.config.cluster_size,
-            **(
-                {"packing_method": self.config.packing_method}
-                if self.config.cluster_generator == "two-tiered"
-                else {}
-            ),
-        )
-        return generator.generate(candidates)
+        return build_hit_generator(self.config).generate(candidates)
 
     def _aggregator(self):
-        if self.config.aggregation == "majority":
-            return MajorityAggregator()
-        return DawidSkeneAggregator()
+        return build_aggregator(self.config)
 
     # ----------------------------------------------------------------- run
     def resolve(self, dataset: Dataset) -> ResolutionResult:
@@ -122,19 +136,9 @@ class HybridWorkflow:
         # candidate pair that another HIT was supposed to cover) fall back to
         # the machine likelihood: below every crowd-confirmed match, above
         # every crowd-rejected pair.
-        def rank_key(key: PairKey) -> Tuple[int, float, float]:
-            posterior = posteriors.get(key)
-            if posterior is None:
-                return (1, likelihoods[key], likelihoods[key])
-            tier = 2 if posterior > self.config.decision_threshold else 0
-            return (tier, posterior, likelihoods[key])
-
-        ranked = sorted(likelihoods, key=rank_key, reverse=True)
-        matches = [
-            key
-            for key in ranked
-            if posteriors.get(key, 0.0) > self.config.decision_threshold
-        ]
+        ranked, matches = rank_candidates(
+            likelihoods, posteriors, self.config.decision_threshold
+        )
 
         recall_ceiling = None
         if dataset.ground_truth:

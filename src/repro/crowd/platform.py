@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
 
 from repro.crowd.latency import LatencyEstimate, LatencyModel
 from repro.crowd.pricing import PricingModel
@@ -73,7 +73,20 @@ class SimulatedCrowdPlatform:
         Cost and latency models.
     seed:
         Seed of the worker-selection RNG.
+    vote_mode:
+        ``"sequential"`` (the default) replays the legacy simulation: one
+        RNG is advanced HIT by HIT, so the votes a pair receives depend on
+        the order HITs are published and on how pairs are grouped into
+        HITs.  ``"per-pair"`` makes every pair's votes a pure function of
+        (platform seed, pair key, vote round): the workers asked about a
+        pair and their answers are drawn from RNGs seeded by the pair key,
+        so regrouping pairs into different HITs, splitting a batch into
+        several ``publish`` calls, or covering a pair with multiple HITs
+        never changes (or duplicates) its votes.  The streaming resolver
+        relies on this mode for its incremental == batch equivalence.
     """
+
+    VOTE_MODES = ("sequential", "per-pair")
 
     def __init__(
         self,
@@ -83,15 +96,19 @@ class SimulatedCrowdPlatform:
         pricing: Optional[PricingModel] = None,
         latency: Optional[LatencyModel] = None,
         seed: int = 0,
+        vote_mode: str = "sequential",
     ) -> None:
         if assignments_per_hit < 1:
             raise ValueError("assignments_per_hit must be at least 1")
+        if vote_mode not in self.VOTE_MODES:
+            raise ValueError(f"vote_mode must be one of {self.VOTE_MODES}")
         self.pool = pool or WorkerPool.build(seed=seed)
         self.assignments_per_hit = assignments_per_hit
         self.qualification = qualification
         self.pricing = pricing or PricingModel()
         self.latency = latency or LatencyModel()
         self.seed = seed
+        self.vote_mode = vote_mode
         self._rejected_count = 0
         self._eligible = self._determine_eligible_workers()
 
@@ -112,14 +129,18 @@ class SimulatedCrowdPlatform:
         batch: HITBatch,
         true_matches: Iterable[Tuple[str, str]],
         candidate_pairs: Optional[Iterable[Tuple[str, str]]] = None,
+        vote_rounds: Optional[Mapping[Tuple[str, str], int]] = None,
     ) -> CrowdRunResult:
         """Run every HIT of the batch through ``assignments_per_hit`` workers.
 
         ``true_matches`` is the ground truth used to simulate answers.
-        ``candidate_pairs`` restricts which pairs of a cluster-based HIT
-        produce votes (by default the batch's own candidate set is used, so
-        only machine-suggested pairs are recorded — exactly the pairs the
-        workflow needs verified).
+        ``candidate_pairs`` restricts which pairs of a HIT produce votes (by
+        default the batch's own candidate set is used, so only
+        machine-suggested pairs are recorded — exactly the pairs the
+        workflow needs verified).  ``vote_rounds`` (per-pair mode only) maps
+        a pair key to its re-crowd round; asking the same pair again in a
+        higher round draws fresh votes, while round 0 always reproduces the
+        pair's original votes.
         """
         truth: Set[Tuple[str, str]] = {canonical_pair(a, b) for a, b in true_matches}
         candidates = (
@@ -139,6 +160,29 @@ class SimulatedCrowdPlatform:
         if batch.hit_type == "pair" and batch.hits:
             pairs_per_hit = max(hit.size for hit in batch.hits)  # type: ignore[attr-defined]
 
+        if self.vote_mode == "per-pair":
+            self._publish_per_pair(batch, truth, candidates, vote_rounds, rng, result)
+        else:
+            self._publish_sequential(batch, truth, candidates, rng, result)
+
+        result.cost = self.pricing.total_cost(batch.hit_count, self.assignments_per_hit)
+        result.latency = self.latency.estimate(
+            result.assignment_seconds,
+            hit_type=batch.hit_type,
+            pairs_per_hit=pairs_per_hit,
+            qualification=self.qualification is not None,
+        )
+        return result
+
+    def _publish_sequential(
+        self,
+        batch: HITBatch,
+        truth: Set[Tuple[str, str]],
+        candidates: Set[Tuple[str, str]],
+        rng: random.Random,
+        result: CrowdRunResult,
+    ) -> None:
+        """Legacy simulation: one RNG advanced HIT by HIT in publish order."""
         for hit in batch.hits:
             workers = self._pick_workers(rng)
             for worker in workers:
@@ -162,14 +206,80 @@ class SimulatedCrowdPlatform:
                 for pair_key, answer in answers.items():
                     result.votes.append((worker.worker_id, pair_key, answer))
 
-        result.cost = self.pricing.total_cost(batch.hit_count, self.assignments_per_hit)
-        result.latency = self.latency.estimate(
-            result.assignment_seconds,
-            hit_type=batch.hit_type,
-            pairs_per_hit=pairs_per_hit,
-            qualification=self.qualification is not None,
-        )
-        return result
+    def _publish_per_pair(
+        self,
+        batch: HITBatch,
+        truth: Set[Tuple[str, str]],
+        candidates: Set[Tuple[str, str]],
+        vote_rounds: Optional[Mapping[Tuple[str, str], int]],
+        rng: random.Random,
+        result: CrowdRunResult,
+    ) -> None:
+        """Deterministic simulation: votes are a function of the pair key.
+
+        Assignments (cost and latency bookkeeping) are still accounted per
+        HIT, but the votes are generated once per *covered candidate pair*
+        in sorted pair order — a pair covered by two overlapping cluster
+        HITs is asked once, and splitting the batch over several publish
+        calls yields the same votes per pair.
+        """
+        covered: Set[Tuple[str, str]] = set()
+        for hit in batch.hits:
+            if isinstance(hit, PairBasedHIT):
+                covered |= hit.checkable_pairs() & candidates
+            elif isinstance(hit, ClusterBasedHIT):
+                covered |= hit.checkable_pairs(candidates)
+            else:  # pragma: no cover - defensive
+                raise TypeError(f"unsupported HIT type: {type(hit)!r}")
+            # Per-HIT assignment bookkeeping mirrors the sequential mode;
+            # cluster comparisons use the full pairwise count (the
+            # deterministic worst case of the Section-6 procedure).
+            workers = self._pick_workers(rng)
+            for worker in workers:
+                if isinstance(hit, PairBasedHIT):
+                    seconds = self.latency.pair_assignment_seconds(
+                        hit.size, qualified=self.qualification is not None
+                    )
+                else:
+                    seconds = self.latency.cluster_assignment_seconds(
+                        hit.size * (hit.size - 1) // 2,
+                        qualified=self.qualification is not None,
+                    )
+                worker.completed_assignments += 1
+                result.assignment_seconds.append(seconds)
+        for pair_key in sorted(covered):
+            round_index = vote_rounds.get(pair_key, 0) if vote_rounds else 0
+            result.votes.extend(
+                self.pair_votes(pair_key, pair_key in truth, round_index=round_index)
+            )
+
+    def pair_votes(
+        self, pair_key: Tuple[str, str], is_match: bool, round_index: int = 0
+    ) -> List[Vote]:
+        """Deterministic votes for one pair (the per-pair vote oracle).
+
+        The ``assignments_per_hit`` workers asked about the pair are drawn
+        from an RNG seeded by (platform seed, round, pair key), and each
+        worker's answer from an RNG seeded by (platform seed, round, worker,
+        pair key).  String seeds hash via SHA-512 inside ``random.Random``,
+        so the votes are stable across processes and independent of
+        ``PYTHONHASHSEED``.
+        """
+        key_a, key_b = pair_key
+        picker = random.Random(f"{self.seed}|{round_index}|workers|{key_a}|{key_b}")
+        if len(self._eligible) >= self.assignments_per_hit:
+            workers = picker.sample(self._eligible, self.assignments_per_hit)
+        else:
+            workers = [picker.choice(self._eligible) for _ in range(self.assignments_per_hit)]
+        votes: List[Vote] = []
+        for worker in workers:
+            answer_rng = random.Random(
+                f"{self.seed}|{round_index}|{worker.worker_id}|{key_a}|{key_b}"
+            )
+            votes.append(
+                (worker.worker_id, pair_key, worker.answer_comparison(is_match, rng=answer_rng))
+            )
+        return votes
 
     def _pick_workers(self, rng: random.Random) -> List[Worker]:
         """Pick ``assignments_per_hit`` distinct workers for one HIT."""

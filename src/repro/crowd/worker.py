@@ -77,16 +77,25 @@ class Worker:
             accuracy = min(1.0, accuracy + self.profile.carefulness_boost)
         return accuracy
 
-    def answer_comparison(self, truth: bool) -> bool:
-        """Answer one pairwise comparison whose true answer is ``truth``."""
+    def answer_comparison(self, truth: bool, rng: Optional[random.Random] = None) -> bool:
+        """Answer one pairwise comparison whose true answer is ``truth``.
+
+        By default the worker's own (stateful) RNG drives the noise, so the
+        answer depends on every comparison the worker made before.  Passing
+        an explicit ``rng`` decouples the answer from that history — the
+        platform's deterministic per-pair vote mode seeds one RNG per
+        (worker, pair) so a pair's votes don't depend on HIT grouping or
+        publication order.
+        """
+        rng = rng if rng is not None else self._rng
         mode = self.profile.spammer_mode
         if mode == "random":
-            return self._rng.random() < 0.5
+            return rng.random() < 0.5
         if mode == "always-yes":
             return True
         if mode == "always-no":
             return False
-        if self._rng.random() < self.effective_accuracy:
+        if rng.random() < self.effective_accuracy:
             return truth
         return not truth
 

@@ -10,13 +10,22 @@ line against the pseudo-code in the paper.
 """
 
 from repro.graph.graph import Graph
-from repro.graph.components import connected_components, split_components_by_size
+from repro.graph.components import (
+    connected_components,
+    labeled_components,
+    split_components_by_size,
+    split_components_with_labels,
+)
 from repro.graph.traversal import bfs_order, dfs_order
+from repro.graph.union_find import IncrementalUnionFind
 
 __all__ = [
     "Graph",
     "connected_components",
+    "labeled_components",
     "split_components_by_size",
+    "split_components_with_labels",
+    "IncrementalUnionFind",
     "bfs_order",
     "dfs_order",
 ]

@@ -14,9 +14,9 @@ fewest HITs of all evaluated approaches.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
-from repro.graph.components import split_components_by_size
+from repro.graph.components import split_components_with_labels
 from repro.graph.graph import Graph
 from repro.hit.generator import ClusterHITGenerator, register_generator
 from repro.hit.packing import pack_components
@@ -33,6 +33,10 @@ class TwoTieredStats:
     partitioned_sccs: int = 0
     packed_hits: int = 0
     component_sizes: List[int] = field(default_factory=list)
+    #: vertex -> component id from the single component traversal; lets
+    #: callers (ablations, the streaming resolver) group per-record data by
+    #: component without re-running a BFS over the pair graph.
+    vertex_component: Dict[str, int] = field(default_factory=dict)
 
 
 @register_generator("two-tiered")
@@ -66,12 +70,13 @@ class TwoTieredClusterGenerator(ClusterHITGenerator):
 
     def _clusters(self, pairs: PairSet) -> List[Sequence[str]]:
         graph = Graph.from_pair_set(pairs)
-        small, large = split_components_by_size(graph, self.cluster_size)
+        small, large, labels = split_components_with_labels(graph, self.cluster_size)
 
         stats = TwoTieredStats(
             small_components=len(small),
             large_components=len(large),
             component_sizes=[len(component) for component in small + large],
+            vertex_component=labels,
         )
 
         # Top tier: partition every large connected component.

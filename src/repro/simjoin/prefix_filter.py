@@ -9,7 +9,9 @@ set that must be verified exactly:
 
 * **length filter** — Jaccard >= t requires ``t * |x| <= |y|``, so records
   are processed in ascending token-set size and index entries from
-  too-small sets are skipped;
+  too-small sets are pruned from the posting lists in place (the minimum
+  admissible size only grows as probing proceeds, so a stale entry never
+  becomes relevant again);
 * **positional filter (PPJoin)** — a collision at prefix positions ``i`` of
   ``x`` and ``j`` of ``y`` bounds the total overlap by the already-seen
   collisions plus ``min(|x| - i, |y| - j)``; candidates whose bound falls
@@ -92,31 +94,49 @@ class PrefixFilterJoin:
         # token -> [(record_id, size, prefix position)]
         index: Dict[str, List[Tuple[str, int, int]]] = defaultdict(list)
         candidates: Dict[Tuple[str, str], bool] = {}
+        # The required overlap ceil(t / (1 + t) * (|x| + |y|)) depends only
+        # on the two set sizes, so the bound is computed once per observed
+        # |y| rather than once per collision.
+        overlap_coefficient = self.threshold / (1.0 + self.threshold)
         for record_id in probe_order:
             tokens = sorted_tokens[record_id]
             size = len(tokens)
             prefix = self._prefix(tokens)
             min_size = self.threshold * size - _EPS
+            required_by_size: Dict[int, int] = {}
             # Accumulated prefix-collision counts per candidate (PPJoin's
             # positional filter); _PRUNED marks candidates whose overlap
             # upper bound already fell below the required overlap.
             overlaps: Dict[str, int] = {}
             for position, token in enumerate(prefix):
-                for other_id, other_size, other_position in index[token]:
-                    if other_size < min_size:
-                        continue  # length filter
+                entries = index[token]
+                # Length filter: probing proceeds in ascending size order, so
+                # postings were appended in ascending size too — every entry
+                # below the current minimum size is stale for this probe and
+                # for all later (larger) probes, and is pruned in place.
+                stale = 0
+                for other_size in (entry[1] for entry in entries):
+                    if other_size >= min_size:
+                        break
+                    stale += 1
+                if stale:
+                    del entries[:stale]
+                for other_id, other_size, other_position in entries:
                     seen = overlaps.get(other_id, 0)
                     if seen == _PRUNED:
                         continue
                     bound = seen + 1 + min(size - position - 1, other_size - other_position - 1)
-                    required = math.ceil(
-                        self.threshold / (1.0 + self.threshold) * (size + other_size) - _EPS
-                    )
+                    required = required_by_size.get(other_size)
+                    if required is None:
+                        required = math.ceil(
+                            overlap_coefficient * (size + other_size) - _EPS
+                        )
+                        required_by_size[other_size] = required
                     if bound < required:
                         overlaps[other_id] = _PRUNED  # positional filter
                         continue
                     overlaps[other_id] = seen + 1
-                index[token].append((record_id, size, position))
+                entries.append((record_id, size, position))
             for other_id, seen in overlaps.items():
                 if seen == _PRUNED:
                     continue

@@ -1,0 +1,41 @@
+"""Streaming incremental entity resolution (the ``repro.streaming`` subsystem).
+
+CrowdER resolves a table in one batch pass; this package keeps a resolution
+session open while records keep arriving:
+
+* :class:`IncrementalSimJoin` — the machine pass against a persistent
+  token/CSR index; each batch joins new-vs-old plus new-vs-new only, and
+  the union of deltas is exactly the full-store join.
+* :class:`StreamingResolver` — the session: incremental union-find with
+  dirty-component tracking, HIT regeneration restricted to dirty
+  components, a per-pair vote ledger with a configurable re-crowd policy,
+  cached posteriors for clean components, and delta-aware
+  :class:`~repro.core.results.ResolutionResult` snapshots.
+* :func:`resolve_stream` — replay a dataset through a session in arrival
+  batches (what the ``resolve-stream`` CLI command runs).
+
+Session lifecycle::
+
+    from repro.streaming import StreamingResolver
+
+    session = StreamingResolver(WorkflowConfig(likelihood_threshold=0.35))
+    session.add_truth(known_matches)          # feeds the simulated crowd
+    snap = session.add_batch(first_records)   # join + crowd + aggregate
+    snap = session.add_batch(more_records)    # only dirty components redo work
+    print(snap.delta.as_dict(), len(snap.matches))
+
+Dirty-component semantics: a component is dirty for a batch if it gained a
+record or a candidate pair (including via merges); only dirty components
+have HITs regenerated and (depending on ``recrowd_policy``) votes
+re-collected, and with component-scoped aggregation every clean component's
+posteriors are preserved bit-for-bit across the batch.
+"""
+
+from repro.streaming.incremental_join import IncrementalSimJoin
+from repro.streaming.session import StreamingResolver, resolve_stream
+
+__all__ = [
+    "IncrementalSimJoin",
+    "StreamingResolver",
+    "resolve_stream",
+]

@@ -1,0 +1,316 @@
+"""Incremental set-similarity join over a persistent token/CSR index.
+
+The batch-mode engines in :mod:`repro.simjoin` recompute the whole join on
+every call.  :class:`IncrementalSimJoin` instead keeps the token index of
+every record seen so far and, when a batch of new records arrives, joins
+
+* **new vs old** — against the persistent index, either through a blocked
+  sparse product ``X_new @ X_old.T`` over the accumulated CSR arrays (the
+  columnar substrate of :class:`repro.simjoin.vectorized.VectorizedSimJoin`)
+  or, without scipy / on small stores, through an inverted-index probe with
+  exact verification; and
+* **new vs new** — by delegating the batch self-join to the existing
+  :mod:`repro.simjoin.backend` registry (so all three engines remain
+  interchangeable here too).
+
+Because set similarity is a function of the two records alone, pairs among
+*old* records are untouched by new arrivals, and the union of the per-batch
+deltas is **exactly** the full-store join at the same threshold — the
+equivalence the streaming property tests assert.  Likelihood values are
+computed with the same integer intersection / union arithmetic as the batch
+engines, so they are bit-identical, not merely close.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.records.pairs import PairSet, RecordPair
+from repro.records.record import Record, RecordError, RecordStore
+from repro.records.tokenize import WhitespaceTokenizer, record_token_set
+from repro.simjoin.backend import (
+    AUTO_BACKEND,
+    AUTO_VECTORIZED_MIN_RECORDS,
+    resolve_backend,
+)
+from repro.simjoin.vectorized import HAVE_SCIPY
+
+if HAVE_SCIPY:
+    from scipy import sparse
+else:  # pragma: no cover - scipy is part of the image
+    sparse = None
+
+
+class IncrementalSimJoin:
+    """Maintain a similarity self/cross join under appended record batches.
+
+    Parameters
+    ----------
+    threshold:
+        Minimum Jaccard similarity for a pair to become a candidate.
+    attributes:
+        Attributes pooled into each record's token set (``None`` = all).
+    backend:
+        Backend name (or ``"auto"``) used for the new-vs-new self-join of
+        each arriving batch; the new-vs-old side picks the CSR product when
+        scipy is available and the resident store is large enough, falling
+        back to the inverted-index probe otherwise.
+    cross_sources:
+        When set, only pairs with one record from each source are produced
+        (record linkage), mirroring the batch engines.
+    block_size:
+        Row-block size of the sparse new-vs-old product.
+
+    State grows monotonically: records can only be added, never removed —
+    retraction requires provenance the CrowdER pipeline doesn't track.
+    """
+
+    def __init__(
+        self,
+        threshold: float,
+        attributes: Optional[Sequence[str]] = None,
+        backend: str = AUTO_BACKEND,
+        cross_sources: Optional[Tuple[str, str]] = None,
+        block_size: int = 1024,
+    ) -> None:
+        if not 0.0 <= threshold <= 1.0:
+            raise ValueError("threshold must be in [0, 1]")
+        if block_size < 1:
+            raise ValueError("block_size must be at least 1")
+        self.threshold = threshold
+        self.attributes = list(attributes) if attributes is not None else None
+        self.backend = backend
+        self.cross_sources = cross_sources
+        self.block_size = block_size
+        self._tokenizer = WhitespaceTokenizer()
+        # Persistent index over all resident records.
+        self._record_ids: List[str] = []
+        self._token_sets: Dict[str, FrozenSet[str]] = {}
+        self._sources: Dict[str, Optional[str]] = {}
+        self._empty_ids: List[str] = []
+        # Flat CSR arrays (rows = records in arrival order); rebuilding a
+        # scipy matrix from them is an O(nnz) copy, the matmul dominates.
+        self._vocab: Dict[str, int] = {}
+        self._indices: List[int] = []
+        self._indptr: List[int] = [0]
+        # token -> record ids, for the probe path.
+        self._inverted: Dict[str, List[str]] = defaultdict(list)
+
+    # -------------------------------------------------------------- queries
+    def __len__(self) -> int:
+        return len(self._record_ids)
+
+    def __contains__(self, record_id: object) -> bool:
+        return record_id in self._token_sets
+
+    @property
+    def record_ids(self) -> List[str]:
+        """Resident record ids in arrival order."""
+        return list(self._record_ids)
+
+    def token_set(self, record_id: str) -> FrozenSet[str]:
+        """The indexed token set of a resident record."""
+        return self._token_sets[record_id]
+
+    # ------------------------------------------------------------------ api
+    def add_batch(self, records: Sequence[Record]) -> PairSet:
+        """Index a batch of new records and return the *delta* pair set.
+
+        The delta contains every pair at or above the threshold with at
+        least one record from the batch (new-vs-old and new-vs-new); pairs
+        among previously resident records are unaffected by arrivals, so
+        the union of all deltas equals the full-store join.
+        """
+        batch = list(records)
+        seen_batch: Set[str] = set()
+        for record in batch:
+            if record.record_id in self._token_sets or record.record_id in seen_batch:
+                raise RecordError(f"duplicate record id: {record.record_id!r}")
+            seen_batch.add(record.record_id)
+
+        new_tokens = {
+            record.record_id: record_token_set(record, self.attributes, self._tokenizer)
+            for record in batch
+        }
+
+        delta = PairSet()
+        if self._record_ids and batch:
+            self._join_new_vs_old(batch, new_tokens, delta)
+        if len(batch) >= 2:
+            self._join_new_vs_new(batch, delta)
+        self._index_batch(batch, new_tokens)
+        # Canonical order (the same rule as SimJoinLikelihood.estimate), so
+        # downstream tie-breaking is independent of discovery order.
+        return PairSet(
+            sorted(delta, key=lambda pair: (-(pair.likelihood or 0.0), pair.key))
+        )
+
+    # ------------------------------------------------------------ internals
+    def _cross_ok(self, source_a: Optional[str], source_b: Optional[str]) -> bool:
+        if self.cross_sources is None:
+            return True
+        return {source_a, source_b} == set(self.cross_sources)
+
+    def _join_new_vs_new(self, batch: Sequence[Record], delta: PairSet) -> None:
+        """Self-join the batch through the pluggable backend registry."""
+        store = RecordStore.from_records(batch, name="arrival-batch")
+        engine = resolve_backend(
+            self.backend, record_count=len(store), threshold=self.threshold
+        )
+        pairs = engine.join(
+            store,
+            self.threshold,
+            attributes=self.attributes,
+            cross_sources=self.cross_sources,
+        )
+        for pair in pairs:
+            delta.add(pair)
+
+    def _join_new_vs_old(
+        self,
+        batch: Sequence[Record],
+        new_tokens: Dict[str, FrozenSet[str]],
+        delta: PairSet,
+    ) -> None:
+        use_vectorized = (
+            HAVE_SCIPY
+            and self.backend != "naive"
+            and self.backend != "prefix"
+            and (
+                self.backend == "vectorized"
+                or len(self._record_ids) >= AUTO_VECTORIZED_MIN_RECORDS
+            )
+        )
+        if self.threshold <= 0.0:
+            self._join_new_vs_old_exhaustive(batch, new_tokens, delta)
+        elif use_vectorized:
+            self._join_new_vs_old_csr(batch, new_tokens, delta)
+        else:
+            self._join_new_vs_old_probe(batch, new_tokens, delta)
+        # Empty token sets are invisible to both the inverted index and the
+        # sparse product, but two empty records are textually identical.
+        if self.threshold > 0.0:
+            for record in batch:
+                if new_tokens[record.record_id]:
+                    continue
+                for old_id in self._empty_ids:
+                    if self._cross_ok(record.source, self._sources[old_id]):
+                        delta.add(RecordPair(record.record_id, old_id, likelihood=1.0))
+
+    def _join_new_vs_old_exhaustive(
+        self,
+        batch: Sequence[Record],
+        new_tokens: Dict[str, FrozenSet[str]],
+        delta: PairSet,
+    ) -> None:
+        """Threshold zero: every new-vs-old pair is scored (naive bipartite scan)."""
+        for record in batch:
+            tokens = new_tokens[record.record_id]
+            for old_id in self._record_ids:
+                if not self._cross_ok(record.source, self._sources[old_id]):
+                    continue
+                old_tokens = self._token_sets[old_id]
+                if not tokens and not old_tokens:
+                    similarity = 1.0
+                else:
+                    union = len(tokens | old_tokens)
+                    similarity = len(tokens & old_tokens) / union if union else 1.0
+                delta.add(RecordPair(record.record_id, old_id, likelihood=similarity))
+
+    def _join_new_vs_old_probe(
+        self,
+        batch: Sequence[Record],
+        new_tokens: Dict[str, FrozenSet[str]],
+        delta: PairSet,
+    ) -> None:
+        """Inverted-index probe: candidates share >= 1 token, verified exactly."""
+        for record in batch:
+            tokens = new_tokens[record.record_id]
+            candidates: Set[str] = set()
+            for token in tokens:
+                postings = self._inverted.get(token)
+                if postings:
+                    candidates.update(postings)
+            for old_id in candidates:
+                if not self._cross_ok(record.source, self._sources[old_id]):
+                    continue
+                old_tokens = self._token_sets[old_id]
+                union = len(tokens | old_tokens)
+                similarity = len(tokens & old_tokens) / union
+                if similarity >= self.threshold:
+                    delta.add(RecordPair(record.record_id, old_id, likelihood=similarity))
+
+    def _join_new_vs_old_csr(
+        self,
+        batch: Sequence[Record],
+        new_tokens: Dict[str, FrozenSet[str]],
+        delta: PairSet,
+    ) -> None:
+        """Blocked sparse product of the batch rows against the resident CSR."""
+        # Extend the vocabulary with the batch's tokens first so both
+        # matrices share one column space (old rows never reference the new
+        # columns, so padding the old matrix's width is free).
+        new_indices: List[int] = []
+        new_indptr: List[int] = [0]
+        for record in batch:
+            for token in new_tokens[record.record_id]:
+                new_indices.append(self._vocab.setdefault(token, len(self._vocab)))
+            new_indptr.append(len(new_indices))
+        width = max(1, len(self._vocab))
+        old_matrix = sparse.csr_matrix(
+            (
+                np.ones(len(self._indices), dtype=np.int32),
+                np.asarray(self._indices, dtype=np.int64),
+                np.asarray(self._indptr, dtype=np.int64),
+            ),
+            shape=(len(self._record_ids), width),
+        )
+        new_matrix = sparse.csr_matrix(
+            (
+                np.ones(len(new_indices), dtype=np.int32),
+                np.asarray(new_indices, dtype=np.int64),
+                np.asarray(new_indptr, dtype=np.int64),
+            ),
+            shape=(len(batch), width),
+        )
+        old_sizes = np.diff(old_matrix.indptr).astype(np.int64)
+        new_sizes = np.diff(new_matrix.indptr).astype(np.int64)
+        old_t = old_matrix.T.tocsr()
+        new_ids = [record.record_id for record in batch]
+        new_sources = [record.source for record in batch]
+        for start in range(0, len(batch), self.block_size):
+            end = min(start + self.block_size, len(batch))
+            inter_block = (new_matrix[start:end] @ old_t).tocoo()
+            rows = inter_block.row.astype(np.int64) + start
+            cols = inter_block.col.astype(np.int64)
+            inter = inter_block.data.astype(np.float64)
+            sizes_a = new_sizes[rows].astype(np.float64)
+            sizes_b = old_sizes[cols].astype(np.float64)
+            values = inter / (sizes_a + sizes_b - inter)
+            passing = values >= self.threshold
+            for row, col, value in zip(
+                rows[passing].tolist(), cols[passing].tolist(), values[passing].tolist()
+            ):
+                old_id = self._record_ids[col]
+                if self._cross_ok(new_sources[row], self._sources[old_id]):
+                    delta.add(RecordPair(new_ids[row], old_id, likelihood=value))
+
+    def _index_batch(
+        self, batch: Sequence[Record], new_tokens: Dict[str, FrozenSet[str]]
+    ) -> None:
+        """Fold the batch into the persistent token/CSR index."""
+        for record in batch:
+            record_id = record.record_id
+            tokens = new_tokens[record_id]
+            self._record_ids.append(record_id)
+            self._token_sets[record_id] = tokens
+            self._sources[record_id] = record.source
+            if not tokens:
+                self._empty_ids.append(record_id)
+            for token in tokens:
+                self._indices.append(self._vocab.setdefault(token, len(self._vocab)))
+                self._inverted[token].append(record_id)
+            self._indptr.append(len(self._indices))

@@ -1,0 +1,372 @@
+"""The streaming incremental entity-resolution session.
+
+:class:`StreamingResolver` keeps a resolution *session* open while record
+batches arrive, maintaining every stage of the CrowdER pipeline
+incrementally instead of recomputing it from scratch:
+
+1. **Machine pass** — an :class:`~repro.streaming.incremental_join.IncrementalSimJoin`
+   joins each batch against the persistent token/CSR index (new-vs-old plus
+   new-vs-new only); resident pairs are never re-scored.
+2. **Component maintenance** — every new candidate pair is a union in an
+   :class:`~repro.graph.union_find.IncrementalUnionFind`; components touched
+   by a new record or pair become *dirty*, all others stay *clean*.
+3. **HIT regeneration** — only dirty components get new HITs, batched
+   through the configured pair/cluster generator over exactly the pairs
+   that need votes under the re-crowd policy; clean components (and, under
+   ``"never"``, already-voted dirty pairs) keep the HITs and votes they
+   already paid for.
+4. **Crowdsourcing** — the platform runs in deterministic per-pair vote
+   mode.  Under the default ``recrowd_policy="never"`` each pair is asked
+   exactly once, the first time a HIT covers it; ``"dirty"`` re-asks every
+   pair of a dirty component with a fresh vote round.
+5. **Aggregation** — with ``streaming_aggregation_scope="component"`` only
+   dirty components are re-aggregated and clean components keep their cached
+   posteriors bit-for-bit; ``"global"`` re-runs the aggregator over all
+   accumulated votes (the mode that reproduces one-shot Dawid-Skene
+   exactly, since EM shares worker confusion estimates globally).
+
+**Equivalence.**  Because set similarity is pairwise, the union of join
+deltas equals the full-store join; because per-pair votes are a pure
+function of the pair key, vote sets agree with a one-shot
+:class:`~repro.core.workflow.HybridWorkflow` run in ``vote_mode="per-pair"``;
+and because ranking is shared (:mod:`repro.core.ranking`), the final match
+set is *identical* to batch resolution for any arrival order under
+``recrowd_policy="never"`` (with majority aggregation in any scope, or
+Dawid-Skene in ``"global"`` scope).  The property tests in
+``tests/test_streaming.py`` assert this across randomized arrival orders.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.aggregation.majority import Vote
+from repro.core.config import WorkflowConfig
+from repro.core.ranking import rank_candidates
+from repro.core.results import ResolutionResult, StreamingDelta
+from repro.core.workflow import build_aggregator, build_hit_generator
+from repro.crowd.latency import LatencyModel
+from repro.crowd.platform import SimulatedCrowdPlatform
+from repro.crowd.pricing import PricingModel
+from repro.crowd.qualification import QualificationTest
+from repro.crowd.worker import WorkerPool
+from repro.datasets.base import Dataset
+from repro.graph.union_find import IncrementalUnionFind
+from repro.records.pairs import PairSet, canonical_pair
+from repro.records.record import Record, RecordStore
+from repro.streaming.incremental_join import IncrementalSimJoin
+
+PairKey = Tuple[str, str]
+
+
+class StreamingResolver:
+    """An open entity-resolution session over arriving record batches.
+
+    Parameters
+    ----------
+    config:
+        Workflow configuration.  The streaming-specific knobs are
+        ``recrowd_policy``, ``streaming_aggregation_scope`` and
+        ``stream_batch_size``; ``vote_mode`` is forced to ``"per-pair"``
+        (the sequential mode cannot preserve votes across batches).
+    cross_sources:
+        Restrict candidates to cross-source pairs (record linkage).
+    platform:
+        Optional pre-built crowd platform; must be in per-pair vote mode.
+
+    Lifecycle: call :meth:`add_batch` for every arrival (it returns a
+    delta-aware :class:`~repro.core.results.ResolutionResult` snapshot) and
+    :meth:`snapshot` at any point for the current state without new data.
+    """
+
+    def __init__(
+        self,
+        config: Optional[WorkflowConfig] = None,
+        cross_sources: Optional[Tuple[str, str]] = None,
+        platform: Optional[SimulatedCrowdPlatform] = None,
+        worker_pool: Optional[WorkerPool] = None,
+        pricing: Optional[PricingModel] = None,
+        latency: Optional[LatencyModel] = None,
+    ) -> None:
+        self.config = config or WorkflowConfig()
+        self.cross_sources = cross_sources
+        if platform is not None:
+            if platform.vote_mode != "per-pair":
+                raise ValueError(
+                    "StreamingResolver requires a platform in 'per-pair' vote "
+                    "mode; sequential votes cannot be preserved across batches"
+                )
+            self.platform = platform
+        else:
+            qualification = QualificationTest() if self.config.use_qualification_test else None
+            self.platform = SimulatedCrowdPlatform(
+                pool=worker_pool or WorkerPool.build(seed=self.config.seed),
+                assignments_per_hit=self.config.assignments_per_hit,
+                qualification=qualification,
+                pricing=pricing,
+                latency=latency,
+                seed=self.config.seed,
+                vote_mode="per-pair",
+            )
+        self.join = IncrementalSimJoin(
+            threshold=self.config.likelihood_threshold,
+            attributes=self.config.similarity_attributes,
+            backend=self.config.join_backend,
+            cross_sources=cross_sources,
+        )
+        self.store = RecordStore(name="stream")
+        self.components = IncrementalUnionFind()
+        self.candidates = PairSet()
+        self._truth: Set[PairKey] = set()
+        self._pairs_of_record: Dict[str, Set[PairKey]] = {}
+        # Vote ledger: per-pair votes in oracle order, plus the number of
+        # completed crowd rounds (0 = never asked).
+        self._votes: Dict[PairKey, List[Vote]] = {}
+        self._vote_rounds: Dict[PairKey, int] = {}
+        self._posteriors: Dict[PairKey, float] = {}
+        self._covered: Set[PairKey] = set()
+        # Accumulated crowd workload across all batches.
+        self._hit_count = 0
+        self._cost = 0.0
+        self._assignment_seconds: List[float] = []
+        self._pairs_per_hit_seen: Optional[int] = None
+        self._generator_name = ""
+        self._batch_index = 0
+        self._last_delta = StreamingDelta()
+
+    # -------------------------------------------------------------- queries
+    @property
+    def record_count(self) -> int:
+        """Number of resident records."""
+        return len(self.store)
+
+    @property
+    def candidate_count(self) -> int:
+        """Number of candidate pairs discovered so far."""
+        return len(self.candidates)
+
+    def votes_for(self, id_a: str, id_b: str) -> List[Vote]:
+        """The current vote ledger entry of one pair (empty if never asked)."""
+        return list(self._votes.get(canonical_pair(id_a, id_b), ()))
+
+    def covered_pairs(self) -> FrozenSet[PairKey]:
+        """Candidate pairs covered by at least one published HIT so far."""
+        return frozenset(self._covered)
+
+    # ------------------------------------------------------------------ api
+    def add_truth(self, true_matches: Iterable[PairKey]) -> None:
+        """Register ground-truth matching pairs for the simulated crowd.
+
+        The simulated workers look answers up in this set; pairs may
+        reference records that have not arrived yet.
+        """
+        self._truth.update(canonical_pair(a, b) for a, b in true_matches)
+
+    def add_batch(
+        self,
+        records: Sequence[Record],
+        true_matches: Optional[Iterable[PairKey]] = None,
+    ) -> ResolutionResult:
+        """Ingest a batch of new records and return the updated snapshot.
+
+        Runs the incremental machine pass, dirties the touched components,
+        regenerates and publishes HITs for them, folds fresh votes into the
+        ledger, re-aggregates what changed and snapshots the session.
+        """
+        if true_matches is not None:
+            self.add_truth(true_matches)
+        batch = list(records)
+        self._batch_index += 1
+        delta = StreamingDelta(batch_index=self._batch_index, new_records=len(batch))
+
+        # Stage 1: incremental machine pass.
+        new_pairs = self.join.add_batch(batch)
+        for record in batch:
+            self.store.add(record)
+            self.components.add(record.record_id)
+            self._pairs_of_record.setdefault(record.record_id, set())
+        delta.new_candidate_pairs = len(new_pairs)
+
+        # Stage 2: component maintenance.
+        for pair in new_pairs:
+            self.candidates.add(pair)
+            self.components.union(pair.id_a, pair.id_b)
+            self._pairs_of_record[pair.id_a].add(pair.key)
+            self._pairs_of_record[pair.id_b].add(pair.key)
+
+        # Only dirty components are enumerated (their member lists are
+        # maintained by the union-find); clean components cost nothing here.
+        dirty_roots = self.components.dirty_roots()
+        dirty_pairs: Set[PairKey] = set()
+        for root in dirty_roots:
+            for member in self.components.members(root):
+                dirty_pairs.update(self._pairs_of_record.get(member, ()))
+        delta.dirty_components = len(dirty_roots)
+        delta.clean_components = self.components.component_count - len(dirty_roots)
+        delta.dirty_pairs = len(dirty_pairs)
+
+        # Stages 3 + 4: regenerate HITs for dirty components and crowdsource.
+        if dirty_pairs:
+            self._crowdsource_dirty(dirty_pairs, delta)
+
+        # Stage 5: re-aggregate what changed.
+        self._aggregate(dirty_pairs, delta)
+
+        self.components.clear_dirty()
+        self._last_delta = delta
+        return self.snapshot()
+
+    def _crowdsource_dirty(self, dirty_pairs: Set[PairKey], delta: StreamingDelta) -> None:
+        """Regenerate HITs for the dirty pairs that need votes; collect them.
+
+        Under ``recrowd_policy="never"`` only the never-voted pairs of the
+        dirty components are re-batched — already-voted pairs keep their
+        ledger entry and cost nothing more; ``"dirty"`` re-batches (and
+        re-asks) every dirty pair with a fresh vote round.
+        """
+        if self.config.recrowd_policy == "dirty":
+            to_vote = set(dirty_pairs)
+        else:  # "never": only pairs that have no votes yet
+            to_vote = {key for key in dirty_pairs if self._vote_rounds.get(key, 0) == 0}
+        delta.reused_vote_pairs = sum(
+            1 for key in dirty_pairs - to_vote if key in self._votes
+        )
+        if not to_vote:
+            return
+        # Sorted-key order makes HIT grouping independent of arrival order.
+        vote_set = PairSet(
+            self.candidates.get(id_a, id_b) for id_a, id_b in sorted(to_vote)
+        )
+        batch_hits = build_hit_generator(self.config).generate(vote_set)
+        self._generator_name = batch_hits.generator_name
+        rounds = {key: self._vote_rounds.get(key, 0) for key in to_vote}
+
+        crowd_run = self.platform.publish(
+            batch_hits,
+            true_matches=self._truth,
+            candidate_pairs=to_vote,
+            vote_rounds=rounds,
+        )
+        self._covered.update(batch_hits.covered_pairs())
+
+        fresh: Dict[PairKey, List[Vote]] = {}
+        for vote in crowd_run.votes:
+            fresh.setdefault(vote[1], []).append(vote)
+        for key, votes in fresh.items():
+            self._votes[key] = votes
+            self._vote_rounds[key] = self._vote_rounds.get(key, 0) + 1
+
+        self._hit_count += crowd_run.hit_count
+        self._cost += crowd_run.cost
+        self._assignment_seconds.extend(crowd_run.assignment_seconds)
+        if self.config.hit_type == "pair" and batch_hits.hits:
+            largest = batch_hits.max_hit_size()
+            if self._pairs_per_hit_seen is None or largest > self._pairs_per_hit_seen:
+                self._pairs_per_hit_seen = largest
+
+        delta.regenerated_hits = crowd_run.hit_count
+        delta.crowdsourced_pairs = len(fresh)
+
+    def _aggregate(self, dirty_pairs: Set[PairKey], delta: StreamingDelta) -> None:
+        """Fold fresh votes into the posterior cache."""
+        aggregator = build_aggregator(self.config)
+        if self.config.streaming_aggregation_scope == "global":
+            votes = self._ledger_votes(self._votes.keys())
+            self._posteriors = dict(aggregator.aggregate(votes)) if votes else {}
+            return
+        # Component scope: only the dirty region is re-aggregated; posteriors
+        # of clean components are carried over untouched.
+        voted_dirty = [key for key in sorted(dirty_pairs) if key in self._votes]
+        delta.preserved_posterior_pairs = sum(
+            1 for key in self._posteriors if key not in dirty_pairs
+        )
+        if not voted_dirty:
+            return
+        votes = self._ledger_votes(voted_dirty)
+        for key, posterior in aggregator.aggregate(votes).items():
+            self._posteriors[key] = posterior
+
+    def _ledger_votes(self, keys: Iterable[PairKey]) -> List[Vote]:
+        """Ledger votes for the given pairs, sorted by pair key.
+
+        Sorted-key order with per-pair oracle order inside reproduces the
+        exact vote sequence a one-shot per-pair publish emits, which keeps
+        Dawid-Skene EM bit-identical between streaming and batch runs.
+        """
+        votes: List[Vote] = []
+        for key in sorted(set(keys)):
+            votes.extend(self._votes.get(key, ()))
+        return votes
+
+    def snapshot(self) -> ResolutionResult:
+        """The current resolution state as a delta-aware result object."""
+        likelihoods: Dict[PairKey, float] = {
+            pair.key: pair.likelihood or 0.0 for pair in self.candidates
+        }
+        ranked, matches = rank_candidates(
+            likelihoods, self._posteriors, self.config.decision_threshold
+        )
+        recall_ceiling = None
+        if self._truth:
+            arrived = {
+                key
+                for key in self._truth
+                if key[0] in self.store and key[1] in self.store
+            }
+            if arrived:
+                surviving = self.candidates.intersection_keys(arrived)
+                recall_ceiling = len(surviving) / len(arrived)
+        latency = self.platform.latency.estimate(
+            self._assignment_seconds,
+            hit_type=self.config.hit_type,
+            pairs_per_hit=self._pairs_per_hit_seen,
+            qualification=self.platform.qualification is not None,
+        )
+        return ResolutionResult(
+            ranked_pairs=ranked,
+            matches=matches,
+            posteriors=dict(self._posteriors),
+            likelihoods=likelihoods,
+            candidate_count=len(self.candidates),
+            hit_count=self._hit_count,
+            assignment_count=len(self._assignment_seconds),
+            cost=self._cost,
+            latency=latency,
+            recall_ceiling=recall_ceiling,
+            generator_name=self._generator_name,
+            delta=self._last_delta,
+        )
+
+
+def resolve_stream(
+    dataset: Dataset,
+    config: Optional[WorkflowConfig] = None,
+    batch_size: Optional[int] = None,
+    arrival_order: Optional[Sequence[str]] = None,
+    **resolver_kwargs,
+) -> ResolutionResult:
+    """Replay a dataset through a streaming session batch by batch.
+
+    Records arrive in store order (or ``arrival_order``, a permutation of
+    record ids) in chunks of ``batch_size`` (default:
+    ``config.stream_batch_size``); the full ground truth is registered up
+    front so the simulated crowd can answer.  Returns the final snapshot —
+    under ``recrowd_policy="never"`` its match set equals a one-shot
+    ``HybridWorkflow(config).resolve(dataset)`` with per-pair votes.
+    """
+    config = config or WorkflowConfig()
+    size = batch_size or config.stream_batch_size
+    resolver = StreamingResolver(
+        config=config, cross_sources=dataset.cross_sources, **resolver_kwargs
+    )
+    resolver.add_truth(dataset.ground_truth)
+    if arrival_order is None:
+        records = list(dataset.store)
+    else:
+        records = [dataset.store.get(record_id) for record_id in arrival_order]
+        if len(records) != len(dataset.store):
+            raise ValueError("arrival_order must cover every record exactly once")
+    result = resolver.snapshot()
+    for start in range(0, len(records), size):
+        result = resolver.add_batch(records[start : start + size])
+    return result

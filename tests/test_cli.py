@@ -83,3 +83,25 @@ class TestCommands:
             assert exit_code == 0
             outputs[backend] = capsys.readouterr().out
         assert len(set(outputs.values())) == 1
+
+    def test_resolve_stream_command(self, capsys):
+        exit_code = main(
+            ["resolve-stream", "--dataset", "product", "--scale", "0.05",
+             "--threshold", "0.3", "--cluster-size", "6", "--seed", "2",
+             "--batch-size", "20"]
+        )
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "dirty" in output and "clean components" in output
+        assert "precision / recall" in output
+
+    def test_parses_resolve_stream_options(self):
+        args = build_parser().parse_args(
+            ["resolve-stream", "--batch-size", "32", "--recrowd-policy", "dirty",
+             "--aggregation-scope", "global"]
+        )
+        assert args.batch_size == 32
+        assert args.recrowd_policy == "dirty"
+        assert args.aggregation_scope == "global"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["resolve-stream", "--recrowd-policy", "sometimes"])

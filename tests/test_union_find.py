@@ -1,0 +1,113 @@
+"""Tests for the incremental union-find with dirty-component tracking."""
+
+import pytest
+
+from repro.graph.components import labeled_components, split_components_with_labels
+from repro.graph.graph import Graph
+from repro.graph.union_find import IncrementalUnionFind
+
+
+class TestIncrementalUnionFind:
+    def test_singletons_start_dirty(self):
+        uf = IncrementalUnionFind()
+        assert uf.add("a")
+        assert not uf.add("a")  # re-adding is a no-op
+        assert uf.dirty_roots() == {"a"}
+        assert uf.component_count == 1
+
+    def test_union_merges_and_dirties(self):
+        uf = IncrementalUnionFind()
+        uf.union("a", "b")
+        uf.union("c", "d")
+        assert uf.component_count == 2
+        assert uf.connected("a", "b")
+        assert not uf.connected("a", "c")
+        uf.clear_dirty()
+        assert uf.dirty_roots() == set()
+        root = uf.union("b", "c")
+        assert uf.connected("a", "d")
+        assert uf.dirty_roots() == {root}
+        assert uf.component_size("a") == 4
+
+    def test_internal_edge_dirties_component(self):
+        uf = IncrementalUnionFind()
+        uf.union("a", "b")
+        uf.union("b", "c")
+        uf.clear_dirty()
+        uf.union("a", "c")  # already connected, but a new edge arrived
+        assert uf.is_dirty("b")
+
+    def test_dirtiness_survives_merges(self):
+        uf = IncrementalUnionFind()
+        uf.union("a", "b")
+        uf.clear_dirty()
+        uf.mark_dirty("a")
+        # Merge the dirty component into a larger clean one: still dirty.
+        uf.union("c", "d")
+        uf.union("c", "e")
+        uf.clear_dirty()
+        uf.mark_dirty("a")
+        root = uf.union("e", "a")
+        assert root in uf.dirty_roots()
+        assert uf.is_dirty("d")
+
+    def test_components_grouping(self):
+        uf = IncrementalUnionFind()
+        uf.union("a", "b")
+        uf.add("z")
+        grouped = uf.components()
+        assert sorted(sorted(members) for members in grouped.values()) == [
+            ["a", "b"],
+            ["z"],
+        ]
+        subset = uf.components(["a", "z"])
+        assert sorted(len(v) for v in subset.values()) == [1, 1]
+
+    def test_mark_dirty_unknown_raises(self):
+        uf = IncrementalUnionFind()
+        with pytest.raises(KeyError):
+            uf.mark_dirty("ghost")
+
+    def test_matches_batch_connected_components(self):
+        """Incremental unions agree with the batch BFS on the same edges."""
+        edges = [("a", "b"), ("b", "c"), ("d", "e"), ("f", "g"), ("g", "a")]
+        graph = Graph.from_edges(edges)
+        uf = IncrementalUnionFind()
+        for u, v in edges:
+            uf.union(u, v)
+        components, labels = labeled_components(graph)
+        for component in components:
+            roots = {uf.find(vertex) for vertex in component}
+            assert len(roots) == 1
+        assert uf.component_count == len(components)
+        # The label map groups vertices exactly like the union-find roots.
+        for u in graph.vertices():
+            for v in graph.vertices():
+                assert (labels[u] == labels[v]) == uf.connected(u, v)
+
+
+class TestLabeledComponents:
+    def test_labels_match_component_lists(self):
+        graph = Graph.from_edges([("a", "b"), ("c", "d"), ("d", "e")])
+        graph.add_vertex("lonely")
+        components, labels = labeled_components(graph)
+        assert len(components) == 3
+        for index, component in enumerate(components):
+            for vertex in component:
+                assert labels[vertex] == index
+        assert set(labels) == set(graph.vertices())
+
+    def test_split_with_labels_consistent(self):
+        graph = Graph.from_edges(
+            [("a", "b"), ("c", "d"), ("d", "e"), ("e", "f"), ("f", "g")]
+        )
+        small, large, labels = split_components_with_labels(graph, cluster_size=3)
+        assert [sorted(c) for c in small] == [["a", "b"]]
+        assert [sorted(c) for c in large] == [["c", "d", "e", "f", "g"]]
+        # Two vertices share a component iff their labels agree.
+        assert labels["c"] == labels["g"]
+        assert labels["a"] != labels["c"]
+
+    def test_split_with_labels_rejects_small_cluster_size(self):
+        with pytest.raises(ValueError):
+            split_components_with_labels(Graph(), cluster_size=1)
