@@ -52,6 +52,13 @@ def _add_backend_argument(parser: argparse.ArgumentParser) -> None:
         default=AUTO_BACKEND,
         help="similarity-join engine for the machine pass (auto picks by store size)",
     )
+    parser.add_argument(
+        "--join-workers",
+        type=int,
+        default=0,
+        help="worker processes for the sharded 'parallel' join backend "
+             "(0 = one per CPU core; results are identical for any value)",
+    )
 
 
 def load_dataset(name: str, scale: float, seed: int) -> Dataset:
@@ -87,7 +94,9 @@ def _cmd_threshold_table(args: argparse.Namespace) -> int:
 
 def _cmd_generate_hits(args: argparse.Namespace) -> int:
     dataset = load_dataset(args.dataset, args.scale, args.seed)
-    pairs = SimJoinLikelihood(backend=args.join_backend).estimate(
+    pairs = SimJoinLikelihood(
+        backend=args.join_backend, workers=args.join_workers or None
+    ).estimate(
         dataset.store, min_likelihood=args.threshold, cross_sources=dataset.cross_sources
     )
     rows = []
@@ -118,6 +127,7 @@ def _cmd_resolve(args: argparse.Namespace) -> int:
         pairs_per_hit=args.pairs_per_hit,
         use_qualification_test=args.qualification_test,
         join_backend=args.join_backend,
+        join_workers=args.join_workers,
         seed=args.seed,
     )
     result = HybridWorkflow(config).resolve(dataset)
@@ -144,10 +154,12 @@ def _cmd_resolve_stream(args: argparse.Namespace) -> int:
         cluster_size=args.cluster_size,
         pairs_per_hit=args.pairs_per_hit,
         join_backend=args.join_backend,
+        join_workers=args.join_workers,
         vote_mode="per-pair",
         stream_batch_size=args.batch_size,
         recrowd_policy=args.recrowd_policy,
         streaming_aggregation_scope=args.aggregation_scope,
+        staleness_epsilon=args.staleness_epsilon,
         seed=args.seed,
     )
     resolver = StreamingResolver(config=config, cross_sources=dataset.cross_sources)
@@ -166,6 +178,9 @@ def _cmd_resolve_stream(args: argparse.Namespace) -> int:
               f"{delta.crowdsourced_pairs} pairs crowdsourced, "
               f"{delta.reused_vote_pairs} vote sets reused | "
               f"matches so far: {len(result.matches)}")
+    # Settle any components deferred by bounded-staleness aggregation
+    # (no-op at the default epsilon of 0).
+    result = resolver.flush()
     precision, recall = precision_recall(result.matches, dataset.ground_truth)
     print(f"candidates         : {result.candidate_count}")
     print(f"HITs / assignments : {result.hit_count} / {result.assignment_count} "
@@ -226,6 +241,9 @@ def build_parser() -> argparse.ArgumentParser:
     stream.add_argument("--aggregation-scope", choices=("component", "global"),
                         default="component",
                         help="re-aggregate only dirty components or all votes")
+    stream.add_argument("--staleness-epsilon", type=int, default=0,
+                        help="skip re-aggregating a dirty component that gained "
+                             "fewer than this many new votes (0 = always re-run)")
     _add_backend_argument(stream)
     stream.set_defaults(handler=_cmd_resolve_stream)
     return parser

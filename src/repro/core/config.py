@@ -27,8 +27,12 @@ class WorkflowConfig:
     * ``similarity_attributes`` — attributes pooled by the simjoin
       likelihood (``None`` = all).
     * ``join_backend`` — similarity-join engine for the machine pass
-      (``"auto"``, ``"naive"``, ``"prefix"`` or ``"vectorized"``); all
-      engines return identical pair sets, the choice only affects speed.
+      (``"auto"``, ``"naive"``, ``"prefix"``, ``"vectorized"`` or
+      ``"parallel"``); all engines return identical pair sets, the choice
+      only affects speed.
+    * ``join_workers`` — worker processes for the sharded ``parallel``
+      backend and the auto heuristic that may select it (0 = one per CPU
+      core).  Any value produces bit-identical pairs and likelihoods.
     * ``vote_mode`` — how the simulated crowd draws votes:
       ``"sequential"`` (legacy; votes depend on HIT grouping and publish
       order) or ``"per-pair"`` (votes are a pure function of the pair key —
@@ -44,6 +48,14 @@ class WorkflowConfig:
       dirty components on each snapshot (posteriors of untouched components
       are preserved bit-for-bit), ``"global"`` re-runs the aggregator over
       all accumulated votes (exactly matches one-shot Dawid-Skene).
+    * ``staleness_epsilon`` — bounded-staleness aggregation for streaming
+      (component scope only): a dirty component whose vote ledger gained
+      fewer than this many new votes *since its last aggregation* keeps
+      its cached posteriors instead of re-running the aggregator; pending
+      gains accumulate across batches and reset on aggregation, so a
+      cached posterior is never more than epsilon votes behind the ledger.
+      0 (default) always re-aggregates dirty components — the exact,
+      pre-existing behavior.
     * ``seed`` — seed for the crowd simulation.
     """
 
@@ -58,10 +70,12 @@ class WorkflowConfig:
     aggregation: str = "dawid-skene"
     similarity_attributes: Optional[Sequence[str]] = None
     join_backend: str = AUTO_BACKEND
+    join_workers: int = 0
     vote_mode: str = "sequential"
     stream_batch_size: int = 256
     recrowd_policy: str = "never"
     streaming_aggregation_scope: str = "component"
+    staleness_epsilon: int = 0
     decision_threshold: float = 0.5
     seed: int = 0
 
@@ -82,6 +96,10 @@ class WorkflowConfig:
             raise ValueError(
                 f"join_backend must be '{AUTO_BACKEND}' or one of {available_backends()}"
             )
+        if self.join_workers < 0:
+            raise ValueError("join_workers must be non-negative (0 = one per core)")
+        if self.staleness_epsilon < 0:
+            raise ValueError("staleness_epsilon must be non-negative")
         if self.vote_mode not in ("sequential", "per-pair"):
             raise ValueError("vote_mode must be 'sequential' or 'per-pair'")
         if self.stream_batch_size < 1:

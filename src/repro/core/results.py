@@ -41,6 +41,11 @@ class StreamingDelta:
     preserved_posterior_pairs:
         Pairs in clean components whose cached posterior was reused without
         re-running the aggregator (component aggregation scope only).
+    stale_skipped_components:
+        Dirty components whose aggregation was skipped because their vote
+        ledger gained fewer than ``staleness_epsilon`` new votes since
+        their last aggregation (bounded-staleness aggregation; always 0
+        when the epsilon is 0).
     """
 
     batch_index: int = 0
@@ -53,6 +58,7 @@ class StreamingDelta:
     crowdsourced_pairs: int = 0
     reused_vote_pairs: int = 0
     preserved_posterior_pairs: int = 0
+    stale_skipped_components: int = 0
 
     def as_dict(self) -> Dict[str, int]:
         """Plain-dict view used by the CLI and benchmark reports."""
@@ -67,6 +73,7 @@ class StreamingDelta:
             "crowdsourced_pairs": self.crowdsourced_pairs,
             "reused_vote_pairs": self.reused_vote_pairs,
             "preserved_posterior_pairs": self.preserved_posterior_pairs,
+            "stale_skipped_components": self.stale_skipped_components,
         }
 
 

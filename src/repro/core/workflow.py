@@ -90,6 +90,7 @@ class HybridWorkflow:
         self.estimator = estimator or SimJoinLikelihood(
             attributes=self.config.similarity_attributes,
             backend=self.config.join_backend,
+            workers=self.config.join_workers or None,
         )
         if platform is not None:
             self.platform = platform

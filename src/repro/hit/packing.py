@@ -20,6 +20,7 @@ Three solvers are provided and cross-validated in the test suite:
 
 from __future__ import annotations
 
+import heapq
 import math
 from collections import Counter
 from dataclasses import dataclass, field
@@ -96,23 +97,39 @@ def _validate(sizes: Sequence[int], capacity: int) -> None:
 
 # --------------------------------------------------------------------- FFD
 def first_fit_decreasing(sizes: Sequence[int], capacity: int) -> PackingSolution:
-    """First-fit-decreasing heuristic bin packing."""
+    """First-fit-decreasing heuristic bin packing.
+
+    The first-fit rule ("lowest-indexed open bin with room") is implemented
+    with a capacity-indexed structure instead of a linear scan over all open
+    bins: ``residual_bins[r]`` is a min-heap of the indices of bins with
+    exactly ``r`` free units.  Placing an item of size ``s`` peeks the
+    ``capacity - s + 1`` feasible residual classes and takes the smallest
+    bin index among their heads — O(capacity + log bins) per item instead
+    of O(bins), while producing the *same* bins as the scan by construction
+    (each bin lives in exactly one residual class, and the minimum index
+    over the feasible classes is exactly the first fit).
+    """
     _validate(sizes, capacity)
     order = sorted(range(len(sizes)), key=lambda index: (-sizes[index], index))
     bins: List[List[int]] = []
-    loads: List[int] = []
+    residual_bins: List[List[int]] = [[] for _ in range(capacity + 1)]
     for index in order:
         size = sizes[index]
-        placed = False
-        for bin_index, load in enumerate(loads):
-            if load + size <= capacity:
-                bins[bin_index].append(index)
-                loads[bin_index] += size
-                placed = True
-                break
-        if not placed:
+        best_residual = -1
+        best_bin = -1
+        for residual in range(size, capacity + 1):
+            heap = residual_bins[residual]
+            if heap and (best_bin < 0 or heap[0] < best_bin):
+                best_bin = heap[0]
+                best_residual = residual
+        if best_bin < 0:
+            residual = capacity - size
+            heapq.heappush(residual_bins[residual], len(bins))
             bins.append([index])
-            loads.append(size)
+            continue
+        heapq.heappop(residual_bins[best_residual])
+        heapq.heappush(residual_bins[best_residual - size], best_bin)
+        bins[best_bin].append(index)
     return PackingSolution(
         bins=bins,
         capacity=capacity,

@@ -4,9 +4,10 @@ This package implements the machine pass of CrowdER's hybrid workflow:
 computing, for every candidate pair, the likelihood that the two records
 refer to the same entity (Section 2.2), and the indexing techniques the
 paper's footnote 1 mentions for avoiding all-pairs comparison (blocking and
-prefix-filtering similarity joins).  Three interchangeable join engines —
-naive, prefix-filtering and vectorized (sparse-matrix) — are exposed
-through the backend registry in :mod:`repro.simjoin.backend`.
+prefix-filtering similarity joins).  Four interchangeable join engines —
+naive, prefix-filtering, vectorized (sparse-matrix) and parallel (the same
+sparse products sharded across a process pool) — are exposed through the
+backend registry in :mod:`repro.simjoin.backend`.
 """
 
 from repro.simjoin.allpairs import all_pairs_similarity
@@ -21,6 +22,7 @@ from repro.simjoin.backend import (
 )
 from repro.simjoin.blocking import TokenBlocker, QGramBlocker, AttributeBlocker
 from repro.simjoin.likelihood import LikelihoodEstimator, SimJoinLikelihood
+from repro.simjoin.parallel import ParallelSimJoin, parallel_similarity_join
 from repro.simjoin.prefix_filter import PrefixFilterJoin
 from repro.simjoin.vectorized import VectorizedSimJoin, vectorized_similarity_join
 
@@ -29,6 +31,8 @@ __all__ = [
     "PrefixFilterJoin",
     "VectorizedSimJoin",
     "vectorized_similarity_join",
+    "ParallelSimJoin",
+    "parallel_similarity_join",
     "TokenBlocker",
     "QGramBlocker",
     "AttributeBlocker",

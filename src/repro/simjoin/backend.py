@@ -9,13 +9,16 @@ at a likelihood threshold.  Three interchangeable engines implement it:
   (:class:`repro.simjoin.prefix_filter.PrefixFilterJoin`), exact for any
   positive threshold;
 * ``vectorized`` — blocked sparse-matrix intersection counting
-  (:class:`repro.simjoin.vectorized.VectorizedSimJoin`), the fastest option
-  on stores beyond a few hundred records.
+  (:class:`repro.simjoin.vectorized.VectorizedSimJoin`), the fastest
+  single-core option on stores beyond a few hundred records;
+* ``parallel`` — the same blocked products sharded across a process pool
+  (:class:`repro.simjoin.parallel.ParallelSimJoin`), the fastest option on
+  large stores with more than one core.
 
-All three return identical pair sets for the same store and threshold (the
-property tests assert ids and likelihoods agree), so callers select purely
-on performance.  ``resolve_backend`` implements the ``"auto"`` heuristic
-used by :class:`~repro.simjoin.likelihood.SimJoinLikelihood`.
+All engines return identical pair sets for the same store and threshold
+(the property tests assert ids and likelihoods agree), so callers select
+purely on performance.  ``resolve_backend`` implements the ``"auto"``
+heuristic used by :class:`~repro.simjoin.likelihood.SimJoinLikelihood`.
 """
 
 from __future__ import annotations
@@ -26,6 +29,7 @@ from repro.records.pairs import PairSet
 from repro.records.record import RecordStore
 from repro.similarity.record_similarity import JaccardRecordSimilarity
 from repro.simjoin.allpairs import all_pairs_similarity
+from repro.simjoin.parallel import ParallelSimJoin, resolve_worker_count
 from repro.simjoin.prefix_filter import PrefixFilterJoin
 from repro.simjoin.vectorized import HAVE_SCIPY, VectorizedSimJoin
 
@@ -35,6 +39,11 @@ AUTO_BACKEND = "auto"
 #: prefix-filter join (CSR construction has a fixed cost that dominates on
 #: tiny stores; past a few hundred records the matmul wins decisively).
 AUTO_VECTORIZED_MIN_RECORDS = 256
+
+#: Store size at which sharding the blocked products across a process pool
+#: wins back the per-worker fork + index-serialization cost.  Below it the
+#: serial vectorized engine is faster even with many idle cores.
+AUTO_PARALLEL_MIN_RECORDS = 4096
 
 
 class SimJoinBackend:
@@ -112,6 +121,31 @@ class VectorizedJoinBackend(SimJoinBackend):
         return join.join(store, cross_sources=cross_sources)
 
 
+class ParallelJoinBackend(SimJoinBackend):
+    """Process-pool sharded sparse-matrix join; bit-identical to ``vectorized``.
+
+    ``workers=None`` (the default) resolves to one worker per CPU core at
+    join time; ``resolve_backend(..., workers=N)`` overrides it.
+    """
+
+    name = "parallel"
+
+    def __init__(self, workers: Optional[int] = None) -> None:
+        self.workers = workers
+
+    def join(
+        self,
+        store: RecordStore,
+        threshold: float,
+        attributes: Optional[Sequence[str]] = None,
+        cross_sources: Optional[Tuple[str, str]] = None,
+    ) -> PairSet:
+        join = ParallelSimJoin(
+            threshold=threshold, attributes=attributes, workers=self.workers
+        )
+        return join.join(store, cross_sources=cross_sources)
+
+
 _REGISTRY: Dict[str, Callable[[], SimJoinBackend]] = {}
 
 
@@ -138,14 +172,23 @@ def get_backend(name: str) -> SimJoinBackend:
     return factory()
 
 
-def auto_backend_name(record_count: int, threshold: float) -> str:
+def auto_backend_name(
+    record_count: int, threshold: float, workers: Optional[int] = None
+) -> str:
     """The ``"auto"`` heuristic: pick a backend from store size and threshold.
 
-    Large stores go to the vectorized engine (when scipy is importable);
-    small stores with a positive threshold use the prefix filter, whose
-    inverted index beats matrix construction there; everything else falls
-    back to the naive scan.
+    Very large stores with more than one effective worker go to the sharded
+    parallel engine; large stores to the (serial) vectorized engine (when
+    scipy is importable); small stores with a positive threshold use the
+    prefix filter, whose inverted index beats matrix construction there;
+    everything else falls back to the naive scan.
+
+    ``workers=None`` means "one per CPU core", so on a single-core host the
+    parallel engine is never auto-selected.
     """
+    if HAVE_SCIPY and record_count >= AUTO_PARALLEL_MIN_RECORDS:
+        if resolve_worker_count(workers) > 1:
+            return "parallel"
     if HAVE_SCIPY and record_count >= AUTO_VECTORIZED_MIN_RECORDS:
         return "vectorized"
     if threshold > 0.0:
@@ -157,13 +200,23 @@ def resolve_backend(
     name: str = AUTO_BACKEND,
     record_count: int = 0,
     threshold: float = 0.0,
+    workers: Optional[int] = None,
 ) -> SimJoinBackend:
-    """Return the backend for ``name``, applying the auto heuristic."""
+    """Return the backend for ``name``, applying the auto heuristic.
+
+    ``workers`` feeds both the auto heuristic and, for backends that take a
+    worker count (the parallel engine or registered custom backends with a
+    ``workers`` attribute), the engine configuration.
+    """
     if name == AUTO_BACKEND:
-        return get_backend(auto_backend_name(record_count, threshold))
-    return get_backend(name)
+        name = auto_backend_name(record_count, threshold, workers)
+    engine = get_backend(name)
+    if workers is not None and hasattr(engine, "workers"):
+        engine.workers = workers
+    return engine
 
 
 register_backend(NaiveJoinBackend.name, NaiveJoinBackend)
 register_backend(PrefixJoinBackend.name, PrefixJoinBackend)
 register_backend(VectorizedJoinBackend.name, VectorizedJoinBackend)
+register_backend(ParallelJoinBackend.name, ParallelJoinBackend)

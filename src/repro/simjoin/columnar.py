@@ -1,0 +1,110 @@
+"""Columnar CSR index construction from flat token arrays.
+
+The vectorized and incremental joins both need a binary records-x-vocabulary
+CSR matrix.  The legacy build is one Python loop doing a dict ``setdefault``
+and a list ``append`` per token *occurrence*, then converting the whole
+accumulated index list back to numpy — fine for a one-shot batch join, but
+it dominates small-batch streaming appends, where the matmul itself is tiny
+and the reconversion cost grows with the resident store.
+
+The builders here are *columnar* instead: all token occurrences are
+flattened into one array, the vocabulary is discovered in a single pass
+over the batch's **distinct** tokens (a C-level set difference), and the
+CSR ``indices`` array is filled by ``np.fromiter`` over a C-level
+``map(vocab.__getitem__, ...)`` — no per-occurrence Python bytecode, and
+the output is a flat ``int64`` array that downstream code appends
+chunk-wise (``np.concatenate``) instead of re-converting a Python list of
+the entire history on every batch.  That chunked append is where the
+streaming win comes from: ``benchmarks/bench_parallel_join.py`` measures
+the full append pipeline against the legacy loop.
+
+Column order differs from the legacy first-seen order (the vocabulary is
+assigned in sorted order per batch), but a column permutation cannot change
+any intersection count, so every similarity value is bit-identical.  The
+legacy per-record builder is kept (:func:`per_record_csr_arrays`) as the
+reference the equivalence tests and the benchmark compare against.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+#: (CSR indices, CSR indptr, vocabulary size) of a token-incidence matrix.
+CsrArrays = Tuple[np.ndarray, np.ndarray, int]
+
+
+def _flatten(token_sets: Sequence[Iterable[str]]) -> Tuple[List[str], np.ndarray]:
+    """Flatten per-record token sets into one list plus the CSR indptr."""
+    indptr = np.zeros(len(token_sets) + 1, dtype=np.int64)
+    flat: List[str] = []
+    for row, tokens in enumerate(token_sets):
+        flat.extend(tokens)
+        indptr[row + 1] = len(flat)
+    return flat, indptr
+
+
+def _fill_indices(flat: List[str], vocabulary: Dict[str, int]) -> np.ndarray:
+    """Map every token occurrence to its column id without Python bytecode.
+
+    ``map`` with a bound method and ``np.fromiter`` both run their loops in
+    C; only the vocabulary *misses* (handled by the callers, one per
+    distinct new token) pay interpreter cost.
+    """
+    return np.fromiter(
+        map(vocabulary.__getitem__, flat), dtype=np.int64, count=len(flat)
+    )
+
+
+def columnar_csr_arrays(token_sets: Sequence[Iterable[str]]) -> CsrArrays:
+    """Build CSR ``(indices, indptr, width)`` in one columnar pass.
+
+    The vocabulary is implicit: column ``j`` is the ``j``-th distinct token
+    in sorted order.  Rows are the given token sets, in order.
+    """
+    flat, indptr = _flatten(token_sets)
+    if not flat:
+        return np.empty(0, dtype=np.int64), indptr, 0
+    vocabulary = {token: index for index, token in enumerate(sorted(set(flat)))}
+    return _fill_indices(flat, vocabulary), indptr, len(vocabulary)
+
+
+def extend_vocabulary_csr_arrays(
+    token_sets: Sequence[Iterable[str]],
+    vocabulary: Dict[str, int],
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Columnar CSR build against a *persistent* vocabulary dict.
+
+    Unknown tokens are appended to ``vocabulary`` (mutated in place) in
+    sorted order of the batch's novel tokens.  Only one dict insertion per
+    *distinct* novel batch token is paid — the per-occurrence work is a
+    C-level set difference plus the ``map``/``fromiter`` fill.
+    Returns ``(indices, indptr)`` for the batch rows.
+    """
+    flat, indptr = _flatten(token_sets)
+    if not flat:
+        return np.empty(0, dtype=np.int64), indptr
+    for token in sorted(set(flat).difference(vocabulary)):
+        vocabulary[token] = len(vocabulary)
+    return _fill_indices(flat, vocabulary), indptr
+
+
+def per_record_csr_arrays(token_sets: Sequence[Iterable[str]]) -> CsrArrays:
+    """The legacy per-record/per-token loop, kept as a reference baseline.
+
+    Semantically equivalent to :func:`columnar_csr_arrays` up to a column
+    permutation (first-seen vocabulary order instead of sorted order).
+    """
+    vocabulary: Dict[str, int] = {}
+    indices: List[int] = []
+    indptr: List[int] = [0]
+    for tokens in token_sets:
+        for token in tokens:
+            indices.append(vocabulary.setdefault(token, len(vocabulary)))
+        indptr.append(len(indices))
+    return (
+        np.asarray(indices, dtype=np.int64),
+        np.asarray(indptr, dtype=np.int64),
+        len(vocabulary),
+    )

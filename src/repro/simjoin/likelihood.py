@@ -52,11 +52,16 @@ class SimJoinLikelihood(LikelihoodEstimator):
         or ``"auto"`` to pick one from the store size and threshold.  Every
         backend produces exactly the same pair set; the choice only affects
         speed.
+    workers:
+        Worker-process count for the sharded ``parallel`` backend (and the
+        auto heuristic that may select it).  ``None`` = one per CPU core;
+        irrelevant to the serial backends.
     """
 
     attributes: Optional[Sequence[str]] = None
     use_prefix_filter: bool = True
     backend: str = AUTO_BACKEND
+    workers: Optional[int] = None
     name: str = "simjoin"
 
     def estimate(
@@ -69,7 +74,10 @@ class SimJoinLikelihood(LikelihoodEstimator):
         if backend_name == AUTO_BACKEND and not self.use_prefix_filter:
             backend_name = "naive"
         engine = resolve_backend(
-            backend_name, record_count=len(store), threshold=min_likelihood
+            backend_name,
+            record_count=len(store),
+            threshold=min_likelihood,
+            workers=self.workers,
         )
         pairs = engine.join(
             store,

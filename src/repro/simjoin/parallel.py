@@ -1,0 +1,376 @@
+"""Process-pool sharded similarity join: the ``parallel`` backend.
+
+:class:`repro.simjoin.vectorized.VectorizedSimJoin` computes the machine
+pass through blocked sparse products ``X[block] @ X.T`` — exact, but single
+core.  :class:`ParallelSimJoin` splits the CSR *row blocks* across a pool of
+worker processes:
+
+1. the parent builds the token-incidence matrix once (columnar build),
+2. the serialized index is shipped **once per worker** through the pool
+   initializer (CSR ``data``/``indices``/``indptr`` arrays, not records),
+3. each worker runs the *same* per-block code
+   (``VectorizedSimJoin._self_range_blocks`` / ``_bipartite_range_blocks``)
+   over a disjoint contiguous range of row positions,
+4. the parent merges the per-shard pair deltas in deterministic shard order
+   (``Pool.map`` preserves submission order).
+
+**Equivalence guarantee.**  Every similarity value is an elementwise
+float64 expression of one pair's intersection count and the two set sizes;
+neither block boundaries nor shard boundaries enter the arithmetic.  For
+any worker count the pair set and every likelihood are therefore
+*bit-identical* to the serial vectorized join — asserted exactly (``==``,
+not approximately) by the property tests in ``tests/test_parallel_join.py``.
+
+The pool costs one fork + one index serialization per worker, so tiny
+stores are faster on the serial engine; the ``auto`` heuristic in
+:mod:`repro.simjoin.backend` only picks ``parallel`` above
+``AUTO_PARALLEL_MIN_RECORDS`` and with more than one effective worker.
+
+:func:`score_new_vs_old_block` and :func:`parallel_new_vs_old_blocks` expose
+the same machinery for the streaming engine's per-batch new-vs-old product
+(:class:`repro.streaming.incremental_join.IncrementalSimJoin`).
+"""
+
+from __future__ import annotations
+
+import math
+import multiprocessing
+import os
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.records.pairs import PairSet
+from repro.records.record import RecordStore
+from repro.simjoin.vectorized import HAVE_SCIPY, VectorizedSimJoin, _BlockPairs
+
+if HAVE_SCIPY:
+    from scipy import sparse
+else:  # pragma: no cover - scipy is part of the image
+    sparse = None
+
+#: Rows per shard are chosen so each worker gets several shards to balance
+#: the upper-triangle skew (later self-join rows have fewer candidate cols).
+SHARDS_PER_WORKER = 4
+
+# Serialized CSR matrix: (data, indices, indptr, shape).
+_CsrPayload = Tuple[np.ndarray, np.ndarray, np.ndarray, Tuple[int, int]]
+
+# Per-process shard state, installed once by the pool initializer.
+_SHARD_STATE: dict = {}
+
+
+def default_worker_count() -> int:
+    """Worker count used when none is configured: one per available core."""
+    return max(1, os.cpu_count() or 1)
+
+
+def resolve_worker_count(workers: Optional[int]) -> int:
+    """Resolve a configured worker count: ``None``/``0`` = one per core.
+
+    The single place the default-resolution rule lives — the engines and
+    the ``auto`` backend heuristic must agree on the effective count.
+    """
+    if workers:
+        return workers
+    return default_worker_count()
+
+
+def _fork_context() -> multiprocessing.context.BaseContext:
+    """Prefer fork (cheap, Linux default); fall back to spawn elsewhere."""
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context("fork" if "fork" in methods else "spawn")
+
+
+def _csr_payload(matrix: "sparse.csr_matrix") -> _CsrPayload:
+    return (matrix.data, matrix.indices, matrix.indptr, matrix.shape)
+
+
+def _csr_from_payload(payload: _CsrPayload) -> "sparse.csr_matrix":
+    data, indices, indptr, shape = payload
+    return sparse.csr_matrix((data, indices, indptr), shape=shape)
+
+
+def shard_bounds(count: int, workers: int, block_size: int) -> List[Tuple[int, int]]:
+    """Contiguous [start, stop) row-position shards covering ``count`` rows.
+
+    Aims for ``SHARDS_PER_WORKER`` shards per worker (dynamic pool
+    scheduling then load-balances the triangle skew) but never slices finer
+    than one matmul block, so a shard is never trivially small.
+    """
+    if count <= 0:
+        return []
+    shard_count = max(1, min(workers * SHARDS_PER_WORKER, math.ceil(count / block_size)))
+    edges = np.linspace(0, count, shard_count + 1).astype(np.int64)
+    return [
+        (int(edges[i]), int(edges[i + 1]))
+        for i in range(shard_count)
+        if edges[i] < edges[i + 1]
+    ]
+
+
+def _concat_blocks(parts: List[_BlockPairs]) -> _BlockPairs:
+    """Merge a shard's blocks into one (rows, cols, values) triple."""
+    if not parts:
+        return (
+            np.empty(0, dtype=np.int64),
+            np.empty(0, dtype=np.int64),
+            np.empty(0, dtype=np.float64),
+        )
+    return (
+        np.concatenate([rows for rows, _, _ in parts]),
+        np.concatenate([cols for _, cols, _ in parts]),
+        np.concatenate([values for _, _, values in parts]),
+    )
+
+
+# ----------------------------------------------------------- worker side
+def _init_self_shard(payload: dict) -> None:
+    """Install the self-join state in this worker (runs once per worker)."""
+    sub = _csr_from_payload(payload["sub"])
+    _SHARD_STATE.clear()
+    _SHARD_STATE.update(
+        join=VectorizedSimJoin(
+            threshold=payload["threshold"],
+            measure=payload["measure"],
+            block_size=payload["block_size"],
+        ),
+        sub=sub,
+        sub_t=sub.T.tocsr(),
+        sub_sizes=payload["sub_sizes"],
+        keep=payload["keep"],
+    )
+
+
+def _self_shard(bounds: Tuple[int, int]) -> _BlockPairs:
+    start, stop = bounds
+    state = _SHARD_STATE
+    return _concat_blocks(
+        list(
+            state["join"]._self_range_blocks(
+                state["sub"], state["sub_t"], state["sub_sizes"],
+                state["keep"], start, stop,
+            )
+        )
+    )
+
+
+def _init_bipartite_shard(payload: dict) -> None:
+    """Install the bipartite-join state in this worker."""
+    _SHARD_STATE.clear()
+    _SHARD_STATE.update(
+        join=VectorizedSimJoin(
+            threshold=payload["threshold"],
+            measure=payload["measure"],
+            block_size=payload["block_size"],
+        ),
+        left_matrix=_csr_from_payload(payload["left"]),
+        right_t=_csr_from_payload(payload["right"]).T.tocsr(),
+        left_sizes=payload["left_sizes"],
+        right_sizes=payload["right_sizes"],
+        left_index=payload["left_index"],
+        right_index=payload["right_index"],
+    )
+
+
+def _bipartite_shard(bounds: Tuple[int, int]) -> _BlockPairs:
+    start, stop = bounds
+    state = _SHARD_STATE
+    return _concat_blocks(
+        list(
+            state["join"]._bipartite_range_blocks(
+                state["left_matrix"], state["right_t"],
+                state["left_sizes"], state["right_sizes"],
+                state["left_index"], state["right_index"],
+                start, stop,
+            )
+        )
+    )
+
+
+def _init_new_vs_old(payload: dict) -> None:
+    """Install the streaming new-vs-old state in this worker."""
+    _SHARD_STATE.clear()
+    _SHARD_STATE.update(
+        new_matrix=_csr_from_payload(payload["new"]),
+        old_t=_csr_from_payload(payload["old"]).T.tocsr(),
+        new_sizes=payload["new_sizes"],
+        old_sizes=payload["old_sizes"],
+        threshold=payload["threshold"],
+        block_size=payload["block_size"],
+    )
+
+
+def _new_vs_old_shard(bounds: Tuple[int, int]) -> _BlockPairs:
+    start, stop = bounds
+    state = _SHARD_STATE
+    parts = [
+        score_new_vs_old_block(
+            state["new_matrix"], state["old_t"],
+            state["new_sizes"], state["old_sizes"],
+            block_start, min(block_start + state["block_size"], stop),
+            state["threshold"],
+        )
+        for block_start in range(start, stop, state["block_size"])
+    ]
+    return _concat_blocks(parts)
+
+
+def score_new_vs_old_block(
+    new_matrix: "sparse.csr_matrix",
+    old_t: "sparse.csr_matrix",
+    new_sizes: np.ndarray,
+    old_sizes: np.ndarray,
+    start: int,
+    end: int,
+    threshold: float,
+) -> _BlockPairs:
+    """One blocked row range of the streaming new-vs-old Jaccard product.
+
+    Shared by the serial and sharded incremental paths so both produce
+    bit-identical likelihoods (same float64 expression, per pair).
+    """
+    inter_block = (new_matrix[start:end] @ old_t).tocoo()
+    rows = inter_block.row.astype(np.int64) + start
+    cols = inter_block.col.astype(np.int64)
+    inter = inter_block.data.astype(np.float64)
+    sizes_a = new_sizes[rows].astype(np.float64)
+    sizes_b = old_sizes[cols].astype(np.float64)
+    values = inter / (sizes_a + sizes_b - inter)
+    passing = values >= threshold
+    return rows[passing], cols[passing], values[passing]
+
+
+def _map_shards(initializer, payload: dict, worker, bounds, workers: int):
+    """Run shard tasks over a pool; results come back in shard order."""
+    processes = min(workers, len(bounds))
+    context = _fork_context()
+    with context.Pool(
+        processes=processes, initializer=initializer, initargs=(payload,)
+    ) as pool:
+        # chunksize=1: shards are coarse already, and dynamic hand-out
+        # balances the self-join triangle skew across workers.
+        return pool.map(worker, bounds, chunksize=1)
+
+
+def parallel_new_vs_old_blocks(
+    new_matrix: "sparse.csr_matrix",
+    old_matrix: "sparse.csr_matrix",
+    new_sizes: np.ndarray,
+    old_sizes: np.ndarray,
+    threshold: float,
+    workers: int,
+    block_size: int,
+) -> Iterator[_BlockPairs]:
+    """Shard the streaming new-vs-old product across worker processes.
+
+    Yields (new row, old row, value) blocks in deterministic shard order;
+    the union over shards is exactly the serial blocked product.
+    """
+    bounds = shard_bounds(new_matrix.shape[0], workers, block_size)
+    if not bounds:
+        return
+    payload = dict(
+        new=_csr_payload(new_matrix),
+        old=_csr_payload(old_matrix),
+        new_sizes=new_sizes,
+        old_sizes=old_sizes,
+        threshold=threshold,
+        block_size=block_size,
+    )
+    yield from _map_shards(_init_new_vs_old, payload, _new_vs_old_shard, bounds, workers)
+
+
+# ----------------------------------------------------------- parent side
+class ParallelSimJoin(VectorizedSimJoin):
+    """Sharded multi-process variant of :class:`VectorizedSimJoin`.
+
+    Parameters are those of the serial engine plus ``workers``:
+
+    workers:
+        Number of worker processes.  ``None`` or ``0`` means one per
+        available CPU core; ``1`` degenerates to the serial engine (no pool
+        is created).  Any value is legal — more workers than shards simply
+        leaves the extra workers idle.
+    """
+
+    def __init__(
+        self,
+        threshold: float = 0.0,
+        attributes: Optional[Sequence[str]] = None,
+        measure: str = "jaccard",
+        block_size: int = 1024,
+        workers: Optional[int] = None,
+    ) -> None:
+        super().__init__(
+            threshold=threshold,
+            attributes=attributes,
+            measure=measure,
+            block_size=block_size,
+        )
+        if workers is not None and workers < 0:
+            raise ValueError("workers must be non-negative (0/None = auto)")
+        self.workers = workers
+
+    def effective_workers(self) -> int:
+        """The concrete worker count (resolving the ``None``/``0`` default)."""
+        return resolve_worker_count(self.workers)
+
+    def _pair_blocks(
+        self, matrix: "sparse.csr_matrix", sizes: np.ndarray, plan
+    ) -> Iterator[_BlockPairs]:
+        workers = self.effective_workers()
+        kind, first, second = plan
+        row_count = first.size
+        bounds = shard_bounds(row_count, workers, self.block_size)
+        if workers <= 1 or len(bounds) <= 1:
+            # One shard (or one worker) cannot win back the pool cost;
+            # the serial path is bit-identical by construction.
+            yield from super()._pair_blocks(matrix, sizes, plan)
+            return
+        if kind == "bipartite":
+            if second.size > 0:
+                payload = dict(
+                    threshold=self.threshold,
+                    measure=self.measure,
+                    block_size=self.block_size,
+                    left=_csr_payload(matrix[first]),
+                    right=_csr_payload(matrix[second]),
+                    left_sizes=sizes[first],
+                    right_sizes=sizes[second],
+                    left_index=first,
+                    right_index=second,
+                )
+                yield from _map_shards(
+                    _init_bipartite_shard, payload, _bipartite_shard, bounds, workers
+                )
+        elif row_count >= 2:
+            sub = matrix[first]
+            payload = dict(
+                threshold=self.threshold,
+                measure=self.measure,
+                block_size=self.block_size,
+                sub=_csr_payload(sub),
+                sub_sizes=sizes[first],
+                keep=first,
+            )
+            yield from _map_shards(
+                _init_self_shard, payload, _self_shard, bounds, workers
+            )
+        if self.threshold > 0.0:
+            yield from self._empty_pair_blocks(sizes, plan)
+
+
+def parallel_similarity_join(
+    store: RecordStore,
+    threshold: float = 0.0,
+    attributes: Optional[Sequence[str]] = None,
+    cross_sources: Optional[Tuple[str, str]] = None,
+    measure: str = "jaccard",
+    workers: Optional[int] = None,
+) -> PairSet:
+    """Functional convenience wrapper around :class:`ParallelSimJoin`."""
+    join = ParallelSimJoin(
+        threshold=threshold, attributes=attributes, measure=measure, workers=workers
+    )
+    return join.join(store, cross_sources=cross_sources)

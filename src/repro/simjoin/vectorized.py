@@ -4,7 +4,8 @@ The machine pass is the workload the hybrid trade-off hangs on (Table 2,
 Figure 10), and the pure-Python joins in :mod:`repro.simjoin.allpairs` and
 :mod:`repro.simjoin.prefix_filter` pay a Python-interpreter price per pair.
 :class:`VectorizedSimJoin` instead builds a scipy CSR token-incidence matrix
-``X`` (records x vocabulary, binary) and computes all pairwise intersection
+``X`` (records x vocabulary, binary, constructed columnarly — see
+:mod:`repro.simjoin.columnar`) and computes all pairwise intersection
 counts through blocked sparse products ``X[block] @ X.T``.  Set sizes come
 from the CSR row pointers, so Jaccard, Dice and cosine similarities — and
 the cross-source mask for record-linkage joins — are derived entirely in
@@ -14,6 +15,12 @@ The result is exact: intersection and union counts are small integers, the
 final float64 division is bit-identical to the pure-Python ``len(a & b) /
 len(a | b)``, so the vectorized join returns byte-identical pair sets to
 the naive scan at any threshold (the property tests assert this).
+
+The block generators take an explicit row range so that
+:class:`repro.simjoin.parallel.ParallelSimJoin` can run the *same* per-block
+code on disjoint row shards in worker processes: every similarity value is
+an elementwise float64 expression of one pair's intersection count and set
+sizes, so neither block boundaries nor shard boundaries can change it.
 """
 
 from __future__ import annotations
@@ -28,8 +35,9 @@ except ImportError:  # pragma: no cover - scipy is part of the image
     sparse = None
 
 from repro.records.pairs import PairSet, RecordPair
-from repro.records.record import RecordStore
+from repro.records.record import Record, RecordStore
 from repro.records.tokenize import WhitespaceTokenizer, record_token_set
+from repro.simjoin.columnar import columnar_csr_arrays
 
 HAVE_SCIPY = sparse is not None
 
@@ -37,6 +45,10 @@ MEASURES = ("jaccard", "dice", "cosine")
 
 # (global row indices, global col indices, similarity values) for one block.
 _BlockPairs = Tuple[np.ndarray, np.ndarray, np.ndarray]
+
+# A join plan: ("self", keep, None) or ("bipartite", left, right), where the
+# arrays hold global row indices into the incidence matrix.
+JoinPlan = Tuple[str, np.ndarray, Optional[np.ndarray]]
 
 
 class VectorizedSimJoin:
@@ -101,7 +113,18 @@ class VectorizedSimJoin:
         ids = [record.record_id for record in records]
         matrix = self._incidence_matrix(store)
         sizes = np.diff(matrix.indptr).astype(np.int64)
+        plan = self._plan(records, cross_sources)
 
+        for rows, cols, values in self._pair_blocks(matrix, sizes, plan):
+            for i, j, value in zip(rows.tolist(), cols.tolist(), values.tolist()):
+                result.add(RecordPair(ids[i], ids[j], likelihood=value))
+        return result
+
+    # ------------------------------------------------------------- internals
+    def _plan(
+        self, records: Sequence[Record], cross_sources: Optional[Tuple[str, str]]
+    ) -> JoinPlan:
+        """Decide self-join vs bipartite join and which rows participate."""
         if cross_sources is not None and cross_sources[0] != cross_sources[1]:
             left = np.array(
                 [i for i, r in enumerate(records) if r.source == cross_sources[0]],
@@ -111,41 +134,42 @@ class VectorizedSimJoin:
                 [i for i, r in enumerate(records) if r.source == cross_sources[1]],
                 dtype=np.int64,
             )
-            blocks = self._bipartite_blocks(matrix, sizes, left, right)
+            return ("bipartite", left, right)
+        if cross_sources is None:
+            keep = np.arange(len(records), dtype=np.int64)
         else:
-            if cross_sources is None:
-                keep = np.arange(len(records), dtype=np.int64)
-            else:
-                # Degenerate (a, a) cross join: both records from that source.
-                keep = np.array(
-                    [i for i, r in enumerate(records) if r.source == cross_sources[0]],
-                    dtype=np.int64,
-                )
-            blocks = self._self_join_blocks(matrix, sizes, keep)
+            # Degenerate (a, a) cross join: both records from that source.
+            keep = np.array(
+                [i for i, r in enumerate(records) if r.source == cross_sources[0]],
+                dtype=np.int64,
+            )
+        return ("self", keep, None)
 
-        for rows, cols, values in blocks:
-            for i, j, value in zip(rows.tolist(), cols.tolist(), values.tolist()):
-                result.add(RecordPair(ids[i], ids[j], likelihood=value))
-        return result
+    def _pair_blocks(
+        self, matrix: "sparse.csr_matrix", sizes: np.ndarray, plan: JoinPlan
+    ) -> Iterator[_BlockPairs]:
+        """All pair blocks of the plan: the blocked products plus, for
+        positive thresholds, the empty-token pairs the sparse product cannot
+        see.  Overridden by the parallel engine to shard the product part.
+        """
+        kind, first, second = plan
+        if kind == "bipartite":
+            yield from self._bipartite_blocks(matrix, sizes, first, second)
+        else:
+            yield from self._self_join_blocks(matrix, sizes, first)
+        if self.threshold > 0.0:
+            yield from self._empty_pair_blocks(sizes, plan)
 
-    # ------------------------------------------------------------- internals
     def _incidence_matrix(self, store: RecordStore) -> "sparse.csr_matrix":
         """Binary records-x-vocabulary CSR matrix of token memberships."""
-        vocabulary: dict = {}
-        indptr: List[int] = [0]
-        indices: List[int] = []
-        for record in store:
-            tokens = record_token_set(record, self.attributes, self._tokenizer)
-            for token in tokens:
-                indices.append(vocabulary.setdefault(token, len(vocabulary)))
-            indptr.append(len(indices))
+        token_sets = [
+            record_token_set(record, self.attributes, self._tokenizer)
+            for record in store
+        ]
+        indices, indptr, width = columnar_csr_arrays(token_sets)
         matrix = sparse.csr_matrix(
-            (
-                np.ones(len(indices), dtype=np.int32),
-                np.asarray(indices, dtype=np.int64),
-                np.asarray(indptr, dtype=np.int64),
-            ),
-            shape=(len(indptr) - 1, max(1, len(vocabulary))),
+            (np.ones(len(indices), dtype=np.int32), indices, indptr),
+            shape=(len(token_sets), max(1, width)),
         )
         matrix.sort_indices()
         return matrix
@@ -180,11 +204,23 @@ class VectorizedSimJoin:
         if keep.size < 2:
             return
         sub = matrix[keep]
-        sub_t = sub.T.tocsr()
-        sub_sizes = sizes[keep]
+        yield from self._self_range_blocks(
+            sub, sub.T.tocsr(), sizes[keep], keep, 0, keep.size
+        )
+
+    def _self_range_blocks(
+        self,
+        sub: "sparse.csr_matrix",
+        sub_t: "sparse.csr_matrix",
+        sub_sizes: np.ndarray,
+        keep: np.ndarray,
+        start_pos: int,
+        stop_pos: int,
+    ) -> Iterator[_BlockPairs]:
+        """Upper-triangle pair blocks for kept-row positions [start, stop)."""
         count = keep.size
-        for start in range(0, count, self.block_size):
-            end = min(start + self.block_size, count)
+        for start in range(start_pos, stop_pos, self.block_size):
+            end = min(start + self.block_size, stop_pos)
             inter_block = sub[start:end] @ sub_t
             if self.threshold <= 0.0:
                 # Every pair must be materialised: densify the block.
@@ -206,8 +242,6 @@ class VectorizedSimJoin:
             values = self._similarity(inter, sub_sizes[rows], sub_sizes[cols])
             passing = values >= self.threshold
             yield keep[rows[passing]], keep[cols[passing]], values[passing]
-        if self.threshold > 0.0:
-            yield from self._empty_pairs_self(sub_sizes, keep)
 
     def _bipartite_blocks(
         self,
@@ -219,12 +253,31 @@ class VectorizedSimJoin:
         """Yield cross-source pairs (one record from each side)."""
         if left.size == 0 or right.size == 0:
             return
-        left_matrix = matrix[left]
-        right_t = matrix[right].T.tocsr()
-        left_sizes = sizes[left]
-        right_sizes = sizes[right]
-        for start in range(0, left.size, self.block_size):
-            end = min(start + self.block_size, left.size)
+        yield from self._bipartite_range_blocks(
+            matrix[left],
+            matrix[right].T.tocsr(),
+            sizes[left],
+            sizes[right],
+            left,
+            right,
+            0,
+            left.size,
+        )
+
+    def _bipartite_range_blocks(
+        self,
+        left_matrix: "sparse.csr_matrix",
+        right_t: "sparse.csr_matrix",
+        left_sizes: np.ndarray,
+        right_sizes: np.ndarray,
+        left: np.ndarray,
+        right: np.ndarray,
+        start_pos: int,
+        stop_pos: int,
+    ) -> Iterator[_BlockPairs]:
+        """Cross-source pair blocks for left-row positions [start, stop)."""
+        for start in range(start_pos, stop_pos, self.block_size):
+            end = min(start + self.block_size, stop_pos)
             inter_block = left_matrix[start:end] @ right_t
             if self.threshold <= 0.0:
                 inter = np.asarray(inter_block.todense())
@@ -241,20 +294,26 @@ class VectorizedSimJoin:
             values = self._similarity(coo.data, left_sizes[rows], right_sizes[cols])
             passing = values >= self.threshold
             yield left[rows[passing]], right[cols[passing]], values[passing]
-        if self.threshold > 0.0:
-            # Empty-token records never appear in the sparse product, but an
-            # empty-empty pair has similarity 1.0 and must be emitted.
-            empty_left = left[left_sizes == 0]
-            empty_right = right[right_sizes == 0]
+
+    def _empty_pair_blocks(
+        self, sizes: np.ndarray, plan: JoinPlan
+    ) -> Iterator[_BlockPairs]:
+        """Pairs of empty-token records (similarity defined as 1.0).
+
+        Empty rows never appear in a sparse product, so positive-threshold
+        joins must emit them separately; the zero-threshold dense path
+        already scores every pair and needs no patching.
+        """
+        kind, first, second = plan
+        if kind == "bipartite":
+            empty_left = first[sizes[first] == 0]
+            empty_right = second[sizes[second] == 0]
             if empty_left.size and empty_right.size:
                 rows = np.repeat(empty_left, empty_right.size)
                 cols = np.tile(empty_right, empty_left.size)
                 yield rows, cols, np.ones(rows.size, dtype=np.float64)
-
-    @staticmethod
-    def _empty_pairs_self(sub_sizes: np.ndarray, keep: np.ndarray) -> Iterator[_BlockPairs]:
-        """All pairs among empty-token records (similarity defined as 1.0)."""
-        empty = keep[sub_sizes == 0]
+            return
+        empty = first[sizes[first] == 0]
         if empty.size < 2:
             return
         rows, cols = np.triu_indices(empty.size, k=1)

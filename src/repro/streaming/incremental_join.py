@@ -6,19 +6,27 @@ every record seen so far and, when a batch of new records arrives, joins
 
 * **new vs old** — against the persistent index, either through a blocked
   sparse product ``X_new @ X_old.T`` over the accumulated CSR arrays (the
-  columnar substrate of :class:`repro.simjoin.vectorized.VectorizedSimJoin`)
-  or, without scipy / on small stores, through an inverted-index probe with
-  exact verification; and
+  columnar substrate of :class:`repro.simjoin.vectorized.VectorizedSimJoin`,
+  optionally sharded across worker processes when the batch is large and
+  ``workers`` allows) or, without scipy / on small stores, through an
+  inverted-index probe with exact verification; and
 * **new vs new** — by delegating the batch self-join to the existing
-  :mod:`repro.simjoin.backend` registry (so all three engines remain
+  :mod:`repro.simjoin.backend` registry (so all engines remain
   interchangeable here too).
+
+Index construction is *columnar* (:mod:`repro.simjoin.columnar`): each
+batch's CSR rows are built in one ``np.unique`` pass over the flattened
+token arrays, with one dict lookup per distinct batch token instead of one
+per token occurrence — so small-batch appends are no longer dominated by
+the Python indexing loop.
 
 Because set similarity is a function of the two records alone, pairs among
 *old* records are untouched by new arrivals, and the union of the per-batch
 deltas is **exactly** the full-store join at the same threshold — the
 equivalence the streaming property tests assert.  Likelihood values are
 computed with the same integer intersection / union arithmetic as the batch
-engines, so they are bit-identical, not merely close.
+engines (serial and sharded paths share one block scorer), so they are
+bit-identical, not merely close.
 """
 
 from __future__ import annotations
@@ -35,6 +43,13 @@ from repro.simjoin.backend import (
     AUTO_BACKEND,
     AUTO_VECTORIZED_MIN_RECORDS,
     resolve_backend,
+)
+from repro.simjoin.columnar import extend_vocabulary_csr_arrays
+from repro.simjoin.parallel import (
+    parallel_new_vs_old_blocks,
+    resolve_worker_count,
+    score_new_vs_old_block,
+    shard_bounds,
 )
 from repro.simjoin.vectorized import HAVE_SCIPY
 
@@ -63,6 +78,12 @@ class IncrementalSimJoin:
         (record linkage), mirroring the batch engines.
     block_size:
         Row-block size of the sparse new-vs-old product.
+    workers:
+        Worker processes for sharding the new-vs-old product (and for the
+        new-vs-new backend when it is the parallel engine).  ``None``/``0``
+        = one per CPU core; sharding only engages when a batch spans more
+        than one row block, so small appends never pay pool overhead.  Any
+        value yields bit-identical deltas.
 
     State grows monotonically: records can only be added, never removed —
     retraction requires provenance the CrowdER pipeline doesn't track.
@@ -75,28 +96,38 @@ class IncrementalSimJoin:
         backend: str = AUTO_BACKEND,
         cross_sources: Optional[Tuple[str, str]] = None,
         block_size: int = 1024,
+        workers: Optional[int] = None,
     ) -> None:
         if not 0.0 <= threshold <= 1.0:
             raise ValueError("threshold must be in [0, 1]")
         if block_size < 1:
             raise ValueError("block_size must be at least 1")
+        if workers is not None and workers < 0:
+            raise ValueError("workers must be non-negative (0/None = auto)")
         self.threshold = threshold
         self.attributes = list(attributes) if attributes is not None else None
         self.backend = backend
         self.cross_sources = cross_sources
         self.block_size = block_size
+        self.workers = workers
         self._tokenizer = WhitespaceTokenizer()
         # Persistent index over all resident records.
         self._record_ids: List[str] = []
         self._token_sets: Dict[str, FrozenSet[str]] = {}
         self._sources: Dict[str, Optional[str]] = {}
         self._empty_ids: List[str] = []
-        # Flat CSR arrays (rows = records in arrival order); rebuilding a
-        # scipy matrix from them is an O(nnz) copy, the matmul dominates.
+        # Flat CSR arrays (rows = records in arrival order), one chunk per
+        # batch; rebuilding a scipy matrix from them is an O(nnz)
+        # concatenation, the matmul dominates.
         self._vocab: Dict[str, int] = {}
-        self._indices: List[int] = []
+        self._index_chunks: List[np.ndarray] = []
         self._indptr: List[int] = [0]
-        # token -> record ids, for the probe path.
+        # token -> record ids, for the probe path.  Maintaining it is
+        # pointless when the vectorized/parallel product always handles
+        # new-vs-old, so it is skipped for those backends.
+        self._maintain_inverted = not (
+            HAVE_SCIPY and backend in ("vectorized", "parallel")
+        )
         self._inverted: Dict[str, List[str]] = defaultdict(list)
 
     # -------------------------------------------------------------- queries
@@ -114,6 +145,10 @@ class IncrementalSimJoin:
     def token_set(self, record_id: str) -> FrozenSet[str]:
         """The indexed token set of a resident record."""
         return self._token_sets[record_id]
+
+    def effective_workers(self) -> int:
+        """The concrete worker count (resolving the ``None``/``0`` default)."""
+        return resolve_worker_count(self.workers)
 
     # ------------------------------------------------------------------ api
     def add_batch(self, records: Sequence[Record]) -> PairSet:
@@ -135,13 +170,19 @@ class IncrementalSimJoin:
             record.record_id: record_token_set(record, self.attributes, self._tokenizer)
             for record in batch
         }
+        # One columnar pass builds the batch's CSR rows and extends the
+        # persistent vocabulary; both the new-vs-old product and the index
+        # append below reuse these arrays.
+        batch_indices, batch_indptr = extend_vocabulary_csr_arrays(
+            [new_tokens[record.record_id] for record in batch], self._vocab
+        )
 
         delta = PairSet()
         if self._record_ids and batch:
-            self._join_new_vs_old(batch, new_tokens, delta)
+            self._join_new_vs_old(batch, new_tokens, delta, batch_indices, batch_indptr)
         if len(batch) >= 2:
             self._join_new_vs_new(batch, delta)
-        self._index_batch(batch, new_tokens)
+        self._index_batch(batch, new_tokens, batch_indices, batch_indptr)
         # Canonical order (the same rule as SimJoinLikelihood.estimate), so
         # downstream tie-breaking is independent of discovery order.
         return PairSet(
@@ -158,7 +199,10 @@ class IncrementalSimJoin:
         """Self-join the batch through the pluggable backend registry."""
         store = RecordStore.from_records(batch, name="arrival-batch")
         engine = resolve_backend(
-            self.backend, record_count=len(store), threshold=self.threshold
+            self.backend,
+            record_count=len(store),
+            threshold=self.threshold,
+            workers=self.workers,
         )
         pairs = engine.join(
             store,
@@ -174,20 +218,22 @@ class IncrementalSimJoin:
         batch: Sequence[Record],
         new_tokens: Dict[str, FrozenSet[str]],
         delta: PairSet,
+        batch_indices: np.ndarray,
+        batch_indptr: np.ndarray,
     ) -> None:
         use_vectorized = (
             HAVE_SCIPY
             and self.backend != "naive"
             and self.backend != "prefix"
             and (
-                self.backend == "vectorized"
+                self.backend in ("vectorized", "parallel")
                 or len(self._record_ids) >= AUTO_VECTORIZED_MIN_RECORDS
             )
         )
         if self.threshold <= 0.0:
             self._join_new_vs_old_exhaustive(batch, new_tokens, delta)
         elif use_vectorized:
-            self._join_new_vs_old_csr(batch, new_tokens, delta)
+            self._join_new_vs_old_csr(batch, delta, batch_indices, batch_indptr)
         else:
             self._join_new_vs_old_probe(batch, new_tokens, delta)
         # Empty token sets are invisible to both the inverted index and the
@@ -246,62 +292,88 @@ class IncrementalSimJoin:
     def _join_new_vs_old_csr(
         self,
         batch: Sequence[Record],
-        new_tokens: Dict[str, FrozenSet[str]],
         delta: PairSet,
+        batch_indices: np.ndarray,
+        batch_indptr: np.ndarray,
     ) -> None:
-        """Blocked sparse product of the batch rows against the resident CSR."""
-        # Extend the vocabulary with the batch's tokens first so both
-        # matrices share one column space (old rows never reference the new
-        # columns, so padding the old matrix's width is free).
-        new_indices: List[int] = []
-        new_indptr: List[int] = [0]
-        for record in batch:
-            for token in new_tokens[record.record_id]:
-                new_indices.append(self._vocab.setdefault(token, len(self._vocab)))
-            new_indptr.append(len(new_indices))
+        """Blocked sparse product of the batch rows against the resident CSR.
+
+        Old rows never reference the batch's new vocabulary columns, so
+        padding the old matrix to the extended width is free.  When the
+        batch spans several row blocks and more than one worker is
+        configured, the blocks are sharded across a process pool
+        (:func:`repro.simjoin.parallel.parallel_new_vs_old_blocks`); serial
+        and sharded paths share one block scorer, so the delta is
+        bit-identical either way.
+        """
         width = max(1, len(self._vocab))
+        old_indices = (
+            np.concatenate(self._index_chunks)
+            if self._index_chunks
+            else np.empty(0, dtype=np.int64)
+        )
         old_matrix = sparse.csr_matrix(
             (
-                np.ones(len(self._indices), dtype=np.int32),
-                np.asarray(self._indices, dtype=np.int64),
+                np.ones(len(old_indices), dtype=np.int32),
+                old_indices,
                 np.asarray(self._indptr, dtype=np.int64),
             ),
             shape=(len(self._record_ids), width),
         )
         new_matrix = sparse.csr_matrix(
             (
-                np.ones(len(new_indices), dtype=np.int32),
-                np.asarray(new_indices, dtype=np.int64),
-                np.asarray(new_indptr, dtype=np.int64),
+                np.ones(len(batch_indices), dtype=np.int32),
+                batch_indices,
+                batch_indptr,
             ),
             shape=(len(batch), width),
         )
         old_sizes = np.diff(old_matrix.indptr).astype(np.int64)
         new_sizes = np.diff(new_matrix.indptr).astype(np.int64)
-        old_t = old_matrix.T.tocsr()
         new_ids = [record.record_id for record in batch]
         new_sources = [record.source for record in batch]
-        for start in range(0, len(batch), self.block_size):
-            end = min(start + self.block_size, len(batch))
-            inter_block = (new_matrix[start:end] @ old_t).tocoo()
-            rows = inter_block.row.astype(np.int64) + start
-            cols = inter_block.col.astype(np.int64)
-            inter = inter_block.data.astype(np.float64)
-            sizes_a = new_sizes[rows].astype(np.float64)
-            sizes_b = old_sizes[cols].astype(np.float64)
-            values = inter / (sizes_a + sizes_b - inter)
-            passing = values >= self.threshold
-            for row, col, value in zip(
-                rows[passing].tolist(), cols[passing].tolist(), values[passing].tolist()
-            ):
+
+        workers = self.effective_workers()
+        bounds = shard_bounds(len(batch), workers, self.block_size)
+        if workers > 1 and len(bounds) > 1:
+            blocks = parallel_new_vs_old_blocks(
+                new_matrix, old_matrix, new_sizes, old_sizes,
+                self.threshold, workers, self.block_size,
+            )
+        else:
+            old_t = old_matrix.T.tocsr()
+            blocks = (
+                score_new_vs_old_block(
+                    new_matrix, old_t, new_sizes, old_sizes,
+                    start, min(start + self.block_size, len(batch)),
+                    self.threshold,
+                )
+                for start in range(0, len(batch), self.block_size)
+            )
+        for rows, cols, values in blocks:
+            for row, col, value in zip(rows.tolist(), cols.tolist(), values.tolist()):
                 old_id = self._record_ids[col]
                 if self._cross_ok(new_sources[row], self._sources[old_id]):
                     delta.add(RecordPair(new_ids[row], old_id, likelihood=value))
 
     def _index_batch(
-        self, batch: Sequence[Record], new_tokens: Dict[str, FrozenSet[str]]
+        self,
+        batch: Sequence[Record],
+        new_tokens: Dict[str, FrozenSet[str]],
+        batch_indices: np.ndarray,
+        batch_indptr: np.ndarray,
     ) -> None:
-        """Fold the batch into the persistent token/CSR index."""
+        """Fold the batch into the persistent token/CSR index.
+
+        The CSR rows were already built columnarly in :meth:`add_batch`;
+        here they are appended wholesale, and only the bookkeeping that is
+        inherently per record (sources, empty ids, the probe path's
+        inverted index when it is maintained at all) loops in Python.
+        """
+        offset = self._indptr[-1]
+        if len(batch_indices):
+            self._index_chunks.append(batch_indices)
+        self._indptr.extend((batch_indptr[1:] + offset).tolist())
         for record in batch:
             record_id = record.record_id
             tokens = new_tokens[record_id]
@@ -310,7 +382,17 @@ class IncrementalSimJoin:
             self._sources[record_id] = record.source
             if not tokens:
                 self._empty_ids.append(record_id)
-            for token in tokens:
-                self._indices.append(self._vocab.setdefault(token, len(self._vocab)))
-                self._inverted[token].append(record_id)
-            self._indptr.append(len(self._indices))
+            if self._maintain_inverted:
+                for token in tokens:
+                    self._inverted[token].append(record_id)
+        # Growth is monotonic, so once the store is big enough for the CSR
+        # product the probe path is unreachable forever: stop paying the
+        # per-occurrence posting appends and drop the duplicate index.
+        if (
+            self._maintain_inverted
+            and HAVE_SCIPY
+            and self.backend not in ("naive", "prefix")
+            and len(self._record_ids) >= AUTO_VECTORIZED_MIN_RECORDS
+        ):
+            self._maintain_inverted = False
+            self._inverted.clear()

@@ -66,8 +66,10 @@ class StreamingResolver:
     ----------
     config:
         Workflow configuration.  The streaming-specific knobs are
-        ``recrowd_policy``, ``streaming_aggregation_scope`` and
-        ``stream_batch_size``; ``vote_mode`` is forced to ``"per-pair"``
+        ``recrowd_policy``, ``streaming_aggregation_scope``,
+        ``staleness_epsilon`` and ``stream_batch_size``; ``join_workers``
+        shards the incremental machine pass across processes;
+        ``vote_mode`` is forced to ``"per-pair"``
         (the sequential mode cannot preserve votes across batches).
     cross_sources:
         Restrict candidates to cross-source pairs (record linkage).
@@ -113,6 +115,7 @@ class StreamingResolver:
             attributes=self.config.similarity_attributes,
             backend=self.config.join_backend,
             cross_sources=cross_sources,
+            workers=self.config.join_workers or None,
         )
         self.store = RecordStore(name="stream")
         self.components = IncrementalUnionFind()
@@ -123,6 +126,12 @@ class StreamingResolver:
         # completed crowd rounds (0 = never asked).
         self._votes: Dict[PairKey, List[Vote]] = {}
         self._vote_rounds: Dict[PairKey, int] = {}
+        # Votes gained per pair since that pair was last folded into the
+        # posterior cache, for the bounded-staleness aggregation check
+        # (config.staleness_epsilon).  Zeroed per pair on aggregation, so a
+        # cached posterior is never more than epsilon votes behind the
+        # ledger of its component.
+        self._pending_votes: Dict[PairKey, int] = {}
         self._posteriors: Dict[PairKey, float] = {}
         self._covered: Set[PairKey] = set()
         # Accumulated crowd workload across all batches.
@@ -255,6 +264,7 @@ class StreamingResolver:
         for key, votes in fresh.items():
             self._votes[key] = votes
             self._vote_rounds[key] = self._vote_rounds.get(key, 0) + 1
+            self._pending_votes[key] = self._pending_votes.get(key, 0) + len(votes)
 
         self._hit_count += crowd_run.hit_count
         self._cost += crowd_run.cost
@@ -273,6 +283,7 @@ class StreamingResolver:
         if self.config.streaming_aggregation_scope == "global":
             votes = self._ledger_votes(self._votes.keys())
             self._posteriors = dict(aggregator.aggregate(votes)) if votes else {}
+            self._pending_votes.clear()
             return
         # Component scope: only the dirty region is re-aggregated; posteriors
         # of clean components are carried over untouched.
@@ -280,11 +291,45 @@ class StreamingResolver:
         delta.preserved_posterior_pairs = sum(
             1 for key in self._posteriors if key not in dirty_pairs
         )
+        voted_dirty = self._drop_stale_components(voted_dirty, delta)
         if not voted_dirty:
             return
         votes = self._ledger_votes(voted_dirty)
         for key, posterior in aggregator.aggregate(votes).items():
             self._posteriors[key] = posterior
+        for key in voted_dirty:
+            self._pending_votes.pop(key, None)
+
+    def _drop_stale_components(
+        self, voted_dirty: List[PairKey], delta: StreamingDelta
+    ) -> List[PairKey]:
+        """Bounded-staleness filter (``config.staleness_epsilon``).
+
+        A dirty component whose vote ledger gained fewer than
+        ``staleness_epsilon`` new votes *since its last aggregation* keeps
+        its cached posteriors instead of paying another aggregator run.
+        The pending counts accumulate across batches and are zeroed when a
+        component is aggregated, so a cached posterior is never more than
+        epsilon votes behind the ledger — the staleness really is bounded.
+        The default epsilon of 0 disables the filter (every dirty component
+        is re-aggregated, the exact pre-existing behavior).
+        """
+        epsilon = self.config.staleness_epsilon
+        if epsilon <= 0 or not voted_dirty:
+            return voted_dirty
+        by_root: Dict[str, int] = {}
+        for key in voted_dirty:
+            root = self.components.find(key[0])
+            by_root[root] = by_root.get(root, 0) + self._pending_votes.get(key, 0)
+        stale_roots = {root for root, gained in by_root.items() if gained < epsilon}
+        delta.stale_skipped_components = len(stale_roots)
+        if not stale_roots:
+            return voted_dirty
+        return [
+            key
+            for key in voted_dirty
+            if self.components.find(key[0]) not in stale_roots
+        ]
 
     def _ledger_votes(self, keys: Iterable[PairKey]) -> List[Vote]:
         """Ledger votes for the given pairs, sorted by pair key.
@@ -297,6 +342,34 @@ class StreamingResolver:
         for key in sorted(set(keys)):
             votes.extend(self._votes.get(key, ()))
         return votes
+
+    def flush(self) -> ResolutionResult:
+        """Fold every staleness-deferred component into the posterior cache.
+
+        Bounded-staleness aggregation (``config.staleness_epsilon``) can
+        leave components whose pending vote gain never crossed the bound;
+        ``flush`` re-aggregates each such component in full (the same unit
+        ``_aggregate`` uses) and returns the settled snapshot.  A no-op
+        when nothing is pending — e.g. with the default epsilon of 0.
+        """
+        pending = [
+            key
+            for key, gained in self._pending_votes.items()
+            if gained > 0 and key in self._votes
+        ]
+        if pending:
+            roots = {self.components.find(key[0]) for key in pending}
+            keys: Set[PairKey] = set()
+            for root in roots:
+                for member in self.components.members(root):
+                    keys.update(self._pairs_of_record.get(member, ()))
+            voted = [key for key in sorted(keys) if key in self._votes]
+            aggregator = build_aggregator(self.config)
+            for key, posterior in aggregator.aggregate(self._ledger_votes(voted)).items():
+                self._posteriors[key] = posterior
+            for key in voted:
+                self._pending_votes.pop(key, None)
+        return self.snapshot()
 
     def snapshot(self) -> ResolutionResult:
         """The current resolution state as a delta-aware result object."""

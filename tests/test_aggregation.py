@@ -1,11 +1,14 @@
 """Tests for majority-vote and Dawid-Skene aggregation."""
 
+import math
 import random
 
+import numpy as np
 import pytest
 
 from repro.aggregation.dawid_skene import DawidSkeneAggregator
 from repro.aggregation.majority import MajorityAggregator, majority_vote, vote_matrix
+from repro.records.pairs import canonical_pair
 
 
 def make_votes(truth, workers, rng):
@@ -118,3 +121,115 @@ class TestDawidSkene:
         result = DawidSkeneAggregator(max_iterations=100).run(votes)
         assert result.converged
         assert result.iterations <= 100
+
+
+def _reference_em(votes, max_iterations=100, tolerance=1e-6, smoothing=4.0,
+                  anchor_accuracy=0.75):
+    """The pre-vectorization per-vote EM loop, kept verbatim as the oracle
+    the numpy scatter-add implementation is regression-tested against."""
+    votes = [
+        (worker_id, canonical_pair(*pair_key), bool(answer))
+        for worker_id, pair_key, answer in votes
+    ]
+    pair_keys = sorted({pair_key for _, pair_key, _ in votes})
+    worker_ids = sorted({worker_id for worker_id, _, _ in votes})
+    pair_index = {key: index for index, key in enumerate(pair_keys)}
+    worker_index = {worker: index for index, worker in enumerate(worker_ids)}
+    n_pairs, n_workers = len(pair_keys), len(worker_ids)
+    votes_by_pair = [[] for _ in range(n_pairs)]
+    for worker_id, pair_key, answer in votes:
+        votes_by_pair[pair_index[pair_key]].append((worker_index[worker_id], answer))
+    initial = majority_vote(votes)
+    posterior = np.clip(
+        np.array([initial[key] for key in pair_keys], dtype=float), 1e-6, 1 - 1e-6
+    )
+    sensitivity = np.full(n_workers, 0.8)
+    specificity = np.full(n_workers, 0.8)
+    iterations, converged = 0, False
+    for iterations in range(1, max_iterations + 1):
+        yes_match = np.full(n_workers, anchor_accuracy * smoothing)
+        total_match = np.full(n_workers, smoothing)
+        no_nonmatch = np.full(n_workers, anchor_accuracy * smoothing)
+        total_nonmatch = np.full(n_workers, smoothing)
+        for pair_position, pair_votes in enumerate(votes_by_pair):
+            p_match = posterior[pair_position]
+            for worker_position, answer in pair_votes:
+                total_match[worker_position] += p_match
+                total_nonmatch[worker_position] += 1 - p_match
+                if answer:
+                    yes_match[worker_position] += p_match
+                else:
+                    no_nonmatch[worker_position] += 1 - p_match
+        sensitivity = yes_match / total_match
+        specificity = no_nonmatch / total_nonmatch
+        prior = float(np.clip(np.mean(posterior), 1e-6, 1 - 1e-6))
+        new_posterior = np.empty_like(posterior)
+        for pair_position, pair_votes in enumerate(votes_by_pair):
+            log_match = math.log(prior)
+            log_nonmatch = math.log(1 - prior)
+            for worker_position, answer in pair_votes:
+                if answer:
+                    log_match += math.log(sensitivity[worker_position])
+                    log_nonmatch += math.log(1 - specificity[worker_position])
+                else:
+                    log_match += math.log(1 - sensitivity[worker_position])
+                    log_nonmatch += math.log(specificity[worker_position])
+            maximum = max(log_match, log_nonmatch)
+            numerator = math.exp(log_match - maximum)
+            new_posterior[pair_position] = numerator / (
+                numerator + math.exp(log_nonmatch - maximum)
+            )
+        change = float(np.max(np.abs(new_posterior - posterior)))
+        posterior = new_posterior
+        if change < tolerance:
+            converged = True
+            break
+    return (
+        {key: float(posterior[pair_index[key]]) for key in pair_keys},
+        {
+            worker: (
+                float(sensitivity[worker_index[worker]]),
+                float(specificity[worker_index[worker]]),
+            )
+            for worker in worker_ids
+        },
+        iterations,
+        converged,
+    )
+
+
+class TestDawidSkeneVectorizationRegression:
+    """The numpy scatter-add EM must reproduce the per-vote loop exactly."""
+
+    @pytest.mark.parametrize("seed", (0, 1, 2, 3))
+    def test_matches_reference_loop_on_random_votes(self, seed):
+        rng = random.Random(seed)
+        truth = {(f"p{i}", f"q{i}"): (i % 3 == 0) for i in range(rng.randint(5, 50))}
+        workers = [(f"w{j}", rng.uniform(0.5, 0.99)) for j in range(rng.randint(1, 8))]
+        votes = []
+        for pair_key, is_match in truth.items():
+            for worker_id, accuracy in workers:
+                if rng.random() < 0.2:
+                    continue  # sparse vote matrix: not everyone votes on everything
+                answer = is_match if rng.random() < accuracy else not is_match
+                votes.append((worker_id, pair_key, answer))
+        if not votes:
+            return
+        result = DawidSkeneAggregator().run(votes)
+        posteriors, accuracy, iterations, converged = _reference_em(votes)
+        assert result.iterations == iterations
+        assert result.converged == converged
+        assert set(result.posteriors) == set(posteriors)
+        for key, expected in posteriors.items():
+            assert result.posteriors[key] == pytest.approx(expected, abs=1e-9)
+        for worker, (sens, spec) in accuracy.items():
+            got_sens, got_spec = result.worker_accuracy[worker]
+            assert got_sens == pytest.approx(sens, abs=1e-9)
+            assert got_spec == pytest.approx(spec, abs=1e-9)
+
+    def test_single_vote(self):
+        result = DawidSkeneAggregator().run([("w1", ("a", "b"), True)])
+        posteriors, _, _, _ = _reference_em([("w1", ("a", "b"), True)])
+        assert result.posteriors[("a", "b")] == pytest.approx(
+            posteriors[("a", "b")], abs=1e-12
+        )

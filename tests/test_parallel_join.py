@@ -1,0 +1,280 @@
+"""Property tests for the sharded parallel join and the columnar CSR build.
+
+The central contract of :mod:`repro.simjoin.parallel`: for *any* worker
+count (including 1 and more workers than shards), any threshold, any
+measure and any store, :class:`ParallelSimJoin` returns **bit-identical**
+pair sets and likelihoods to the serial
+:class:`~repro.simjoin.vectorized.VectorizedSimJoin` — asserted with exact
+``==`` on the floats, not a tolerance.  The columnar index builders must
+produce matrices whose intersection counts (``X @ X.T``) are identical to
+the legacy per-record loop's, which is the invariant every similarity value
+rests on.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import WorkflowConfig
+from repro.core.workflow import HybridWorkflow
+from repro.datasets.restaurant import RestaurantGenerator
+from repro.records.record import Record, RecordStore
+from repro.simjoin.backend import (
+    AUTO_PARALLEL_MIN_RECORDS,
+    auto_backend_name,
+    resolve_backend,
+)
+from repro.simjoin.columnar import (
+    columnar_csr_arrays,
+    extend_vocabulary_csr_arrays,
+    per_record_csr_arrays,
+)
+from repro.simjoin.parallel import ParallelSimJoin, shard_bounds
+from repro.simjoin.vectorized import HAVE_SCIPY, VectorizedSimJoin
+from repro.streaming.incremental_join import IncrementalSimJoin
+from repro.streaming.session import resolve_stream
+
+pytestmark = pytest.mark.skipif(not HAVE_SCIPY, reason="scipy unavailable")
+
+if HAVE_SCIPY:
+    from scipy import sparse
+
+
+def pair_items(pairs):
+    """Canonical (key, likelihood) list for exact set comparison."""
+    return sorted((pair.key, pair.likelihood) for pair in pairs)
+
+
+# ------------------------------------------------------------- strategies
+_WORDS = ["ipad", "apple", "16gb", "wifi", "white", "2nd", "gen", "mini", "pro", "max"]
+
+record_texts = st.lists(st.sampled_from(_WORDS), max_size=6).map(" ".join)
+
+
+@st.composite
+def random_stores(draw, with_sources=False):
+    """Randomized stores with duplicates and empty-token records."""
+    texts = draw(st.lists(record_texts, min_size=2, max_size=14))
+    duplicate_of = draw(
+        st.lists(st.integers(min_value=0, max_value=len(texts) - 1), max_size=3)
+    )
+    texts.extend(texts[i] for i in duplicate_of)
+    store = RecordStore()
+    for i, text in enumerate(texts):
+        source = ("abt", "buy")[draw(st.integers(0, 1))] if with_sources else None
+        store.add(Record(f"r{i:03d}", {"name": text}, source=source))
+    return store
+
+
+class TestParallelEqualsVectorized:
+    @settings(max_examples=10, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(
+        store=random_stores(),
+        threshold=st.sampled_from((0.0, 0.3, 0.7)),
+        measure=st.sampled_from(("jaccard", "dice", "cosine")),
+        workers=st.sampled_from((1, 2, 3, 8)),
+    )
+    def test_property_bit_identical_self_join(self, store, threshold, measure, workers):
+        # block_size=2 forces many shards even on tiny stores, so the pool
+        # path (not just the workers<=1 degenerate case) is exercised.
+        serial = VectorizedSimJoin(threshold, measure=measure, block_size=2).join(store)
+        parallel = ParallelSimJoin(
+            threshold, measure=measure, block_size=2, workers=workers
+        ).join(store)
+        assert pair_items(parallel) == pair_items(serial)
+
+    @settings(max_examples=10, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(
+        store=random_stores(with_sources=True),
+        threshold=st.sampled_from((0.0, 0.5)),
+        workers=st.sampled_from((1, 2, 6)),
+    )
+    def test_property_bit_identical_cross_source(self, store, threshold, workers):
+        serial = VectorizedSimJoin(threshold, block_size=2).join(
+            store, cross_sources=("abt", "buy")
+        )
+        parallel = ParallelSimJoin(threshold, block_size=2, workers=workers).join(
+            store, cross_sources=("abt", "buy")
+        )
+        assert pair_items(parallel) == pair_items(serial)
+
+    @pytest.mark.parametrize("workers", (1, 2, 5, 64))
+    def test_restaurant_dataset_bit_identical(self, workers):
+        dataset = RestaurantGenerator(
+            record_count=300, duplicate_pairs=40, seed=3
+        ).generate()
+        serial = VectorizedSimJoin(0.3, block_size=64).join(dataset.store)
+        parallel = ParallelSimJoin(0.3, block_size=64, workers=workers).join(
+            dataset.store
+        )
+        # workers=64 is far more workers than the ~5 row blocks: the extra
+        # workers idle, the result must not change.
+        assert pair_items(parallel) == pair_items(serial)
+
+    def test_workers_validation(self):
+        with pytest.raises(ValueError):
+            ParallelSimJoin(workers=-1)
+        assert ParallelSimJoin(workers=0).effective_workers() >= 1
+        assert ParallelSimJoin(workers=7).effective_workers() == 7
+
+    def test_single_shard_store_uses_serial_path(self):
+        # Default block size >> store size: one shard, no pool to pay for.
+        store = RecordStore()
+        store.add(Record("a", {"name": "apple ipad"}))
+        store.add(Record("b", {"name": "apple ipad"}))
+        pairs = ParallelSimJoin(0.5, workers=8).join(store)
+        assert pair_items(pairs) == [(("a", "b"), 1.0)]
+
+
+class TestShardBounds:
+    @given(
+        count=st.integers(min_value=0, max_value=500),
+        workers=st.integers(min_value=1, max_value=16),
+        block_size=st.integers(min_value=1, max_value=64),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_bounds_partition_the_row_range(self, count, workers, block_size):
+        bounds = shard_bounds(count, workers, block_size)
+        if count == 0:
+            assert bounds == []
+            return
+        assert bounds[0][0] == 0
+        assert bounds[-1][1] == count
+        for (_, stop), (start, _) in zip(bounds, bounds[1:]):
+            assert stop == start  # contiguous, disjoint
+        assert all(start < stop for start, stop in bounds)
+
+
+class TestAutoHeuristic:
+    def test_parallel_selected_for_large_multicore_stores(self):
+        assert (
+            auto_backend_name(AUTO_PARALLEL_MIN_RECORDS, 0.3, workers=4) == "parallel"
+        )
+        assert auto_backend_name(AUTO_PARALLEL_MIN_RECORDS - 1, 0.3, workers=4) == "vectorized"
+        # One worker can never win back the pool cost.
+        assert auto_backend_name(AUTO_PARALLEL_MIN_RECORDS, 0.3, workers=1) == "vectorized"
+
+    def test_resolve_backend_threads_workers(self):
+        engine = resolve_backend("parallel", workers=3)
+        assert engine.workers == 3
+        auto = resolve_backend(
+            "auto",
+            record_count=AUTO_PARALLEL_MIN_RECORDS,
+            threshold=0.3,
+            workers=2,
+        )
+        assert auto.name == "parallel"
+        assert auto.workers == 2
+
+
+# ---------------------------------------------------------- columnar build
+def _gram(indices, indptr, width):
+    matrix = sparse.csr_matrix(
+        (np.ones(len(indices), dtype=np.int64), indices, indptr),
+        shape=(len(indptr) - 1, max(1, width)),
+    )
+    return (matrix @ matrix.T).toarray()
+
+
+class TestColumnarBuild:
+    @given(token_sets=st.lists(st.lists(st.sampled_from(_WORDS), max_size=6).map(set), max_size=12))
+    @settings(max_examples=50, deadline=None)
+    def test_intersection_counts_match_per_record_loop(self, token_sets):
+        token_sets = [sorted(tokens) for tokens in token_sets]
+        columnar = columnar_csr_arrays(token_sets)
+        legacy = per_record_csr_arrays(token_sets)
+        assert columnar[1].tolist() == legacy[1].tolist()  # same indptr
+        assert columnar[2] == legacy[2]  # same vocabulary size
+        # Column order differs (sorted vs first-seen), but every pairwise
+        # intersection count — all any similarity uses — is identical.
+        assert np.array_equal(
+            _gram(*columnar), _gram(legacy[0], legacy[1], legacy[2])
+        )
+
+    @given(
+        token_sets=st.lists(
+            st.lists(st.sampled_from(_WORDS), max_size=5).map(set), max_size=12
+        ),
+        split=st.integers(min_value=0, max_value=12),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_incremental_vocabulary_matches_one_shot(self, token_sets, split):
+        token_sets = [sorted(tokens) for tokens in token_sets]
+        split = min(split, len(token_sets))
+        vocab = {}
+        first_idx, first_ptr = extend_vocabulary_csr_arrays(token_sets[:split], vocab)
+        second_idx, second_ptr = extend_vocabulary_csr_arrays(token_sets[split:], vocab)
+        merged_idx = np.concatenate([first_idx, second_idx])
+        merged_ptr = np.concatenate([first_ptr, second_ptr[1:] + first_ptr[-1]])
+        one_shot = columnar_csr_arrays(token_sets)
+        assert len(vocab) == one_shot[2]
+        assert merged_ptr.tolist() == one_shot[1].tolist()
+        assert np.array_equal(
+            _gram(merged_idx, merged_ptr, len(vocab)), _gram(*one_shot)
+        )
+
+    def test_empty_inputs(self):
+        indices, indptr, width = columnar_csr_arrays([])
+        assert len(indices) == 0 and indptr.tolist() == [0] and width == 0
+        indices, indptr, width = columnar_csr_arrays([set(), set()])
+        assert len(indices) == 0 and indptr.tolist() == [0, 0, 0] and width == 0
+
+
+# ---------------------------------------------------------- streaming layer
+class TestStreamingWithWorkers:
+    def test_incremental_join_workers_bit_identical(self):
+        dataset = RestaurantGenerator(
+            record_count=200, duplicate_pairs=30, seed=9
+        ).generate()
+        records = list(dataset.store)
+        joins = {
+            workers: IncrementalSimJoin(
+                threshold=0.3, backend="vectorized", block_size=8, workers=workers
+            )
+            for workers in (1, 3)
+        }
+        for start in range(0, len(records), 40):
+            batch = records[start : start + 40]
+            deltas = {
+                workers: join.add_batch(batch) for workers, join in joins.items()
+            }
+            assert pair_items(deltas[3]) == pair_items(deltas[1])
+
+    def test_auto_backend_retires_inverted_index_once_csr_takes_over(self):
+        """Past the vectorized cutoff the probe path is unreachable forever,
+        so the duplicate inverted index must stop growing and be dropped."""
+        from repro.simjoin.backend import AUTO_VECTORIZED_MIN_RECORDS
+
+        join = IncrementalSimJoin(threshold=0.4)
+        assert join._maintain_inverted
+        records = [
+            Record(f"r{i}", {"name": f"token{i} shared"})
+            for i in range(AUTO_VECTORIZED_MIN_RECORDS + 10)
+        ]
+        join.add_batch(records[:AUTO_VECTORIZED_MIN_RECORDS])
+        assert not join._maintain_inverted
+        assert not join._inverted
+        # Later batches still join correctly through the CSR product.
+        delta = join.add_batch(records[AUTO_VECTORIZED_MIN_RECORDS:])
+        assert not join._inverted
+        assert all(pair.likelihood >= 0.4 for pair in delta)
+
+    def test_streaming_with_join_workers_equals_one_shot_resolve(self):
+        dataset = RestaurantGenerator(
+            record_count=90, duplicate_pairs=15, seed=11
+        ).generate()
+        config = WorkflowConfig(
+            likelihood_threshold=0.35,
+            join_backend="parallel",
+            join_workers=2,
+            vote_mode="per-pair",
+            aggregation="majority",
+            seed=11,
+        )
+        one_shot = HybridWorkflow(config).resolve(dataset)
+        stream = resolve_stream(dataset, config=config, batch_size=23)
+        assert stream.likelihoods == one_shot.likelihoods
+        assert stream.posteriors == one_shot.posteriors
+        assert set(stream.matches) == set(one_shot.matches)
+        assert stream.ranked_pairs == one_shot.ranked_pairs

@@ -296,6 +296,113 @@ class TestIncrementalBehaviour:
             resolve_stream(dataset, arrival_order=dataset.store.record_ids[:-1])
 
 
+# ------------------------------------------------- bounded-staleness (epsilon)
+class TestBoundedStalenessAggregation:
+    def _growing_component_batches(self):
+        base = [
+            Record("r1", {"t": "alpha beta gamma delta"}),
+            Record("r2", {"t": "alpha beta gamma delta"}),
+        ]
+        growth = [Record("r3", {"t": "alpha beta gamma epsilon"})]
+        return base, growth
+
+    def test_epsilon_zero_always_reaggregates(self):
+        base, growth = self._growing_component_batches()
+        config = WorkflowConfig(likelihood_threshold=0.3, vote_mode="per-pair")
+        resolver = StreamingResolver(config=config)
+        resolver.add_batch(base)
+        snap = resolver.add_batch(growth)
+        assert snap.delta.stale_skipped_components == 0
+
+    def test_large_epsilon_skips_low_gain_components(self):
+        # Under recrowd_policy="never" the second batch adds votes only for
+        # the two *new* pairs (3 votes each = 6 fresh votes in the dirty
+        # component); an epsilon above that must skip the re-aggregation
+        # and keep the cached posteriors bit-for-bit.
+        base, growth = self._growing_component_batches()
+        config = WorkflowConfig(likelihood_threshold=0.3, vote_mode="per-pair")
+        resolver = StreamingResolver(config=config)
+        first = resolver.add_batch(base)
+        posterior_before = first.posteriors[("r1", "r2")]
+        config.staleness_epsilon = 1000  # raise the bound mid-session
+        snap = resolver.add_batch(growth)
+        assert snap.delta.stale_skipped_components == 1
+        assert snap.posteriors[("r1", "r2")] == posterior_before
+        # The freshly voted pairs were *not* folded in — that's the
+        # staleness trade: votes are ledgered but the posterior is deferred.
+        assert ("r1", "r3") not in snap.posteriors
+        assert resolver.votes_for("r1", "r3")
+
+    def test_pending_votes_accumulate_until_the_bound_is_crossed(self):
+        """Deferred components re-aggregate once enough evidence piles up:
+        staleness is bounded by epsilon votes, not indefinite."""
+        base, growth = self._growing_component_batches()
+        config = WorkflowConfig(likelihood_threshold=0.3, vote_mode="per-pair")
+        resolver = StreamingResolver(config=config)
+        resolver.add_batch(base)
+        # Each new pair gains 3 votes; one new record adds 2 pairs = 6.
+        config.staleness_epsilon = 8
+        deferred = resolver.add_batch(growth)
+        assert deferred.delta.stale_skipped_components == 1
+        assert ("r1", "r3") not in deferred.posteriors
+        # Another arrival: the component's pending gain (6 + 9) crosses the
+        # bound, so everything deferred is folded in now.
+        caught_up = resolver.add_batch(
+            [Record("r4", {"t": "alpha beta gamma zeta"})]
+        )
+        assert caught_up.delta.stale_skipped_components == 0
+        assert ("r1", "r3") in caught_up.posteriors
+        assert ("r1", "r4") in caught_up.posteriors
+
+    def test_flush_settles_deferred_components(self):
+        """After flush(), an epsilon session matches the exact session."""
+        dataset = make_dataset(record_count=60, duplicate_pairs=10, seed=13)
+        exact_config = WorkflowConfig(
+            likelihood_threshold=0.35, vote_mode="per-pair", aggregation="majority"
+        )
+        exact = resolve_stream(dataset, config=exact_config, batch_size=17)
+
+        config = WorkflowConfig(
+            likelihood_threshold=0.35,
+            vote_mode="per-pair",
+            aggregation="majority",
+            staleness_epsilon=50,
+        )
+        resolver = StreamingResolver(config=config, cross_sources=dataset.cross_sources)
+        resolver.add_truth(dataset.ground_truth)
+        records = list(dataset.store)
+        for start in range(0, len(records), 17):
+            lazy = resolver.add_batch(records[start : start + 17])
+        assert lazy.posteriors != exact.posteriors  # staleness was real
+        settled = resolver.flush()
+        assert settled.posteriors == exact.posteriors
+        assert set(settled.matches) == set(exact.matches)
+        # Idempotent: nothing pending after a flush.
+        assert resolver.flush().posteriors == exact.posteriors
+
+    def test_small_epsilon_equals_exact_aggregation(self):
+        """With majority aggregation, skipping zero-gain components changes
+        nothing: epsilon=1 must reproduce the epsilon=0 session exactly."""
+        dataset = make_dataset(record_count=60, duplicate_pairs=10, seed=13)
+        results = {}
+        for epsilon in (0, 1):
+            config = WorkflowConfig(
+                likelihood_threshold=0.35,
+                vote_mode="per-pair",
+                aggregation="majority",
+                staleness_epsilon=epsilon,
+            )
+            results[epsilon] = resolve_stream(dataset, config=config, batch_size=17)
+        assert results[1].posteriors == results[0].posteriors
+        assert set(results[1].matches) == set(results[0].matches)
+
+    def test_epsilon_validation(self):
+        with pytest.raises(ValueError):
+            WorkflowConfig(staleness_epsilon=-1)
+        with pytest.raises(ValueError):
+            WorkflowConfig(join_workers=-2)
+
+
 # -------------------------------------------------------- property (random)
 @settings(
     max_examples=8,
