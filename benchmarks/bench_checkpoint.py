@@ -1,0 +1,184 @@
+"""Checkpoint save+restore vs cold re-resolution of a streaming session.
+
+Measures what the durability layer (:mod:`repro.streaming.persistence`)
+buys: when a long-lived resolution session dies, restoring it from a
+compacted snapshot must be dramatically cheaper than re-running the whole
+session from scratch — the crowd work is already paid for, so recovery
+should cost I/O, not resolution.  The benchmark builds a streaming session
+over a restaurant store (that build *is* the cold-resolve cost), snapshots
+it, restores it in a fresh resolver, and asserts the restored session is
+**bit-identical** (state digest, match set, posteriors) before reporting
+the speedup.
+
+Standalone script (not a pytest-benchmark module) so CI can gate on it::
+
+    PYTHONPATH=src python benchmarks/bench_checkpoint.py            # full gates
+    PYTHONPATH=src python benchmarks/bench_checkpoint.py --smoke    # <30 s CI run
+
+The full run gates the acceptance criterion: snapshot+restore of a
+10,000-record session must beat the cold re-resolve by at least
+``--min-speedup`` (default 5x).  ``--json`` writes the measured rows for
+artifact upload, like the other benchmark gates.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import shutil
+import sys
+import tempfile
+import time
+from pathlib import Path
+from typing import List, Optional
+
+from repro.core.config import WorkflowConfig
+from repro.datasets.restaurant import RestaurantGenerator
+from repro.evaluation.reporting import format_table
+from repro.streaming import StreamingResolver
+
+
+def run_scenario(
+    record_count: int,
+    threshold: float,
+    seed: int,
+    batch_size: int,
+) -> dict:
+    """Time one save/restore scenario and return a report row."""
+    dataset = RestaurantGenerator(
+        record_count=record_count,
+        duplicate_pairs=max(1, record_count // 8),
+        seed=seed,
+    ).generate()
+    config = WorkflowConfig(
+        likelihood_threshold=threshold,
+        vote_mode="per-pair",
+        aggregation="majority",
+        seed=seed,
+    )
+    records = list(dataset.store)
+
+    # The cold cost: resolving the whole session from scratch (the work a
+    # crash would force without a checkpoint).
+    start_time = time.perf_counter()
+    resolver = StreamingResolver(config=config, cross_sources=dataset.cross_sources)
+    resolver.add_truth(dataset.ground_truth)
+    for start in range(0, len(records), batch_size):
+        snapshot = resolver.add_batch(records[start : start + batch_size])
+    cold_seconds = time.perf_counter() - start_time
+
+    directory = Path(tempfile.mkdtemp(prefix="bench-checkpoint-"))
+    try:
+        start_time = time.perf_counter()
+        target = resolver.save(directory)
+        save_seconds = time.perf_counter() - start_time
+
+        start_time = time.perf_counter()
+        restored = StreamingResolver.restore(directory, resume_journal=False)
+        restore_seconds = time.perf_counter() - start_time
+        snapshot_bytes = target.stat().st_size
+    finally:
+        shutil.rmtree(directory, ignore_errors=True)
+
+    identical = (
+        restored.state_digest() == resolver.state_digest()
+        and restored.snapshot().matches == snapshot.matches
+        and restored.snapshot().posteriors == snapshot.posteriors
+    )
+    round_trip = save_seconds + restore_seconds
+    speedup = cold_seconds / round_trip if round_trip > 0 else float("inf")
+    return {
+        "records": record_count,
+        "pairs": resolver.candidate_count,
+        "cold_resolve_s": f"{cold_seconds:.3f}",
+        "save_s": f"{save_seconds:.4f}",
+        "restore_s": f"{restore_seconds:.4f}",
+        "snapshot_mb": f"{snapshot_bytes / 1e6:.2f}",
+        "speedup": f"{speedup:.1f}x",
+        "bit_identical": identical,
+        "_speedup": speedup,
+        "_identical": identical,
+    }
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="small store and no speedup gate (the <30 s CI run)",
+    )
+    parser.add_argument(
+        "--sizes", type=int, nargs="+", default=None,
+        help="store sizes to benchmark (default: 2000 10000; smoke: 400)",
+    )
+    parser.add_argument("--threshold", type=float, default=0.35, help="likelihood threshold")
+    parser.add_argument("--seed", type=int, default=7, help="dataset / crowd seed")
+    parser.add_argument(
+        "--batch-size", type=int, default=250,
+        help="arrival batch size used to stream in the records",
+    )
+    parser.add_argument(
+        "--min-speedup", type=float, default=5.0,
+        help="required save+restore speedup over cold resolve at the largest size",
+    )
+    parser.add_argument("--json", type=str, default=None,
+                        help="write measured rows to this JSON file")
+    args = parser.parse_args(argv)
+
+    sizes = args.sizes or ([400] if args.smoke else [2000, 10000])
+    rows = [
+        run_scenario(size, args.threshold, args.seed, args.batch_size)
+        for size in sizes
+    ]
+    print(format_table(
+        rows,
+        columns=[
+            "records", "pairs", "cold_resolve_s", "save_s", "restore_s",
+            "snapshot_mb", "speedup", "bit_identical",
+        ],
+        title=f"Checkpoint save+restore vs cold re-resolve — "
+              f"threshold {args.threshold}, batches of {args.batch_size}",
+    ))
+
+    if args.json:
+        payload = {
+            "benchmark": "checkpoint",
+            "threshold": args.threshold,
+            "batch_size": args.batch_size,
+            "rows": [
+                {key: value for key, value in row.items() if not key.startswith("_")}
+                for row in rows
+            ],
+        }
+        with open(args.json, "w") as handle:
+            json.dump(payload, handle, indent=2)
+        print(f"wrote {args.json}")
+
+    failures = 0
+    for row in rows:
+        if not row["_identical"]:
+            print(
+                f"MISMATCH: restored session differs from the original at "
+                f"{row['records']} records",
+                file=sys.stderr,
+            )
+            failures += 1
+    if not args.smoke:
+        largest = rows[-1]
+        if largest["_speedup"] < args.min_speedup:
+            print(
+                f"FAIL: save+restore speedup {largest['_speedup']:.1f}x at "
+                f"{largest['records']} records is below the required "
+                f"{args.min_speedup:.1f}x",
+                file=sys.stderr,
+            )
+            failures += 1
+    if failures:
+        return 1
+    print("restored sessions were bit-identical to the originals")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

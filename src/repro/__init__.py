@@ -2,10 +2,12 @@
 
 A from-scratch Python implementation of *CrowdER: Crowdsourcing Entity
 Resolution* (Wang, Kraska, Franklin, Feng — PVLDB 5(11), 2012), including
-the machine-based similarity substrate, pair-based and cluster-based HIT
+the machine-based similarity substrate (pluggable serial, vectorized and
+sharded-parallel join backends), pair-based and cluster-based HIT
 generation (with the paper's two-tiered heuristic and all evaluated
-baselines), a simulated crowdsourcing platform, answer aggregation and the
-full evaluation harness.
+baselines), a simulated crowdsourcing platform, answer aggregation, a
+streaming incremental resolution engine with durable checkpoint/restore
+and provenance-scoped record retraction, and the full evaluation harness.
 
 Typical use::
 
@@ -15,6 +17,9 @@ Typical use::
     workflow = HybridWorkflow(WorkflowConfig(likelihood_threshold=0.35))
     result = workflow.resolve(dataset)
     print(result.summary())
+
+For long-lived sessions (arriving batches, retractions, crash recovery)
+see :mod:`repro.streaming` and the ``docs/`` site.
 """
 
 from repro.core import (
@@ -46,7 +51,7 @@ from repro.hit import (
 from repro.records import PairSet, Record, RecordPair, RecordStore
 from repro.streaming import IncrementalSimJoin, StreamingResolver, resolve_stream
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "HybridWorkflow",

@@ -10,7 +10,11 @@ Three subcommands expose the most common workflows without writing Python:
   and print cost, latency and result quality.
 * ``resolve-stream`` — replay the dataset through the streaming incremental
   resolver in arrival batches and print, per batch, how little work the
-  dirty-component machinery had to redo.
+  dirty-component machinery had to redo.  With ``--checkpoint-dir`` the
+  session is durable (write-ahead journal + snapshots); ``--resume``
+  restores it and continues with the records it has not seen yet, and
+  ``--max-batches`` stops early (so a later ``--resume`` picks up the
+  rest — the round trip the persistence tests exercise).
 
 Examples::
 
@@ -20,6 +24,10 @@ Examples::
     python -m repro.cli resolve --dataset restaurant --threshold 0.35
     python -m repro.cli resolve-stream --dataset restaurant --threshold 0.35 \
         --batch-size 64 --recrowd-policy never
+    python -m repro.cli resolve-stream --dataset paper-example --batch-size 3 \
+        --checkpoint-dir /tmp/er-session --max-batches 2
+    python -m repro.cli resolve-stream --dataset paper-example --batch-size 3 \
+        --checkpoint-dir /tmp/er-session --resume
 """
 
 from __future__ import annotations
@@ -31,6 +39,7 @@ from typing import List, Optional
 from repro.core.config import WorkflowConfig
 from repro.core.workflow import HybridWorkflow
 from repro.datasets.base import Dataset
+from repro.datasets.paper_example import paper_example_matches, paper_example_store
 from repro.datasets.product import load_product
 from repro.datasets.product_dup import load_product_dup
 from repro.datasets.restaurant import load_restaurant
@@ -42,7 +51,7 @@ from repro.simjoin.backend import AUTO_BACKEND, available_backends
 from repro.simjoin.likelihood import SimJoinLikelihood
 from repro.streaming import StreamingResolver
 
-_DATASETS = ("restaurant", "product", "product-dup")
+_DATASETS = ("restaurant", "product", "product-dup", "paper-example")
 
 
 def _add_backend_argument(parser: argparse.ArgumentParser) -> None:
@@ -69,6 +78,13 @@ def load_dataset(name: str, scale: float, seed: int) -> Dataset:
         return load_product(seed=seed, scale=scale)
     if name == "product-dup":
         return load_product_dup(seed=seed, product_scale=scale)
+    if name == "paper-example":
+        # The nine-record Table-1 example; scale and seed do not apply.
+        return Dataset(
+            name="paper-example",
+            store=paper_example_store(),
+            ground_truth=paper_example_matches(),
+        )
     raise ValueError(f"unknown dataset {name!r}; choose from {_DATASETS}")
 
 
@@ -148,28 +164,74 @@ def _cmd_resolve(args: argparse.Namespace) -> int:
 
 def _cmd_resolve_stream(args: argparse.Namespace) -> int:
     dataset = load_dataset(args.dataset, args.scale, args.seed)
-    config = WorkflowConfig(
-        likelihood_threshold=args.threshold,
-        hit_type=args.hit_type,
-        cluster_size=args.cluster_size,
-        pairs_per_hit=args.pairs_per_hit,
-        join_backend=args.join_backend,
-        join_workers=args.join_workers,
-        vote_mode="per-pair",
-        stream_batch_size=args.batch_size,
-        recrowd_policy=args.recrowd_policy,
-        streaming_aggregation_scope=args.aggregation_scope,
-        staleness_epsilon=args.staleness_epsilon,
-        seed=args.seed,
-    )
-    resolver = StreamingResolver(config=config, cross_sources=dataset.cross_sources)
-    resolver.add_truth(dataset.ground_truth)
-    records = list(dataset.store)
+    if args.resume:
+        if not args.checkpoint_dir:
+            print("error: --resume requires --checkpoint-dir", file=sys.stderr)
+            return 2
+        resolver = StreamingResolver.restore(args.checkpoint_dir)
+        config = resolver.config
+        print(f"resumed session from {args.checkpoint_dir}: "
+              f"{resolver.record_count} records, {resolver.candidate_count} pairs, "
+              f"{resolver.events_applied} journal events")
+        # The stored configuration governs a resumed session; flags that
+        # would change the workflow are ignored, and we say so when they
+        # conflict instead of silently pretending they applied.
+        conflicts = [
+            f"--{name.replace('_', '-')}={given} (session: {stored})"
+            for name, given, stored in [
+                ("threshold", args.threshold, config.likelihood_threshold),
+                ("batch-size", args.batch_size, config.stream_batch_size),
+                ("recrowd-policy", args.recrowd_policy, config.recrowd_policy),
+                ("aggregation-scope", args.aggregation_scope,
+                 config.streaming_aggregation_scope),
+                ("staleness-epsilon", args.staleness_epsilon, config.staleness_epsilon),
+                ("seed", args.seed, config.seed),
+            ]
+            if given != stored
+        ]
+        if conflicts:
+            print("note: --resume keeps the session's stored configuration; "
+                  "ignoring " + ", ".join(conflicts), file=sys.stderr)
+        # Re-register the dataset's ground truth: a no-op when resuming the
+        # same dataset (truth is a set), and the difference between wrong
+        # answers and correct ones if the dataset grew since the session
+        # was created.
+        resolver.add_truth(dataset.ground_truth)
+    else:
+        config = WorkflowConfig(
+            likelihood_threshold=args.threshold,
+            hit_type=args.hit_type,
+            cluster_size=args.cluster_size,
+            pairs_per_hit=args.pairs_per_hit,
+            join_backend=args.join_backend,
+            join_workers=args.join_workers,
+            vote_mode="per-pair",
+            stream_batch_size=args.batch_size,
+            recrowd_policy=args.recrowd_policy,
+            streaming_aggregation_scope=args.aggregation_scope,
+            staleness_epsilon=args.staleness_epsilon,
+            checkpoint_dir=args.checkpoint_dir,
+            **(
+                {"checkpoint_every_batches": args.checkpoint_every}
+                if args.checkpoint_every is not None
+                else {}
+            ),
+            seed=args.seed,
+        )
+        resolver = StreamingResolver(config=config, cross_sources=dataset.cross_sources)
+        resolver.add_truth(dataset.ground_truth)
+    # A resumed session already holds a prefix of the dataset; only the
+    # records it has not seen yet arrive now.
+    records = [record for record in dataset.store if record.record_id not in resolver.store]
     result = resolver.snapshot()
     print(f"streaming {dataset.name}: {len(records)} records in batches of "
           f"{config.stream_batch_size} (re-crowd policy: {config.recrowd_policy})")
+    batches_done = 0
     for start in range(0, len(records), config.stream_batch_size):
+        if args.max_batches and batches_done >= args.max_batches:
+            break
         result = resolver.add_batch(records[start : start + config.stream_batch_size])
+        batches_done += 1
         delta = result.delta
         print(f"  batch {delta.batch_index:>3}: +{delta.new_records} records, "
               f"+{delta.new_candidate_pairs} pairs | "
@@ -178,6 +240,16 @@ def _cmd_resolve_stream(args: argparse.Namespace) -> int:
               f"{delta.crowdsourced_pairs} pairs crowdsourced, "
               f"{delta.reused_vote_pairs} vote sets reused | "
               f"matches so far: {len(result.matches)}")
+    if args.max_batches and len(records) > batches_done * config.stream_batch_size:
+        remaining = len(records) - batches_done * config.stream_batch_size
+        if config.checkpoint_dir:
+            resolver.save()
+            print(f"stopped after {batches_done} batches; {remaining} records "
+                  f"pending — resume with --checkpoint-dir {config.checkpoint_dir} --resume")
+        else:
+            print(f"stopped after {batches_done} batches; {remaining} records pending "
+                  f"(no --checkpoint-dir, progress is not durable)")
+        return 0
     # Settle any components deferred by bounded-staleness aggregation
     # (no-op at the default epsilon of 0).
     result = resolver.flush()
@@ -244,6 +316,19 @@ def build_parser() -> argparse.ArgumentParser:
     stream.add_argument("--staleness-epsilon", type=int, default=0,
                         help="skip re-aggregating a dirty component that gained "
                              "fewer than this many new votes (0 = always re-run)")
+    stream.add_argument("--checkpoint-dir", type=str, default=None,
+                        help="make the session durable: write-ahead journal + "
+                             "periodic snapshots in this directory")
+    stream.add_argument("--checkpoint-every", type=int, default=None,
+                        help="snapshot cadence in applied events (0 = journal "
+                             "only; default: the config default of 16)")
+    stream.add_argument("--resume", action="store_true",
+                        help="restore the session from --checkpoint-dir and "
+                             "continue with the records it has not seen yet")
+    stream.add_argument("--max-batches", type=int, default=0,
+                        help="stop after this many batches this invocation "
+                             "(0 = run to completion); with --checkpoint-dir "
+                             "the rest can be resumed later")
     _add_backend_argument(stream)
     stream.set_defaults(handler=_cmd_resolve_stream)
     return parser

@@ -56,6 +56,18 @@ class WorkflowConfig:
       cached posterior is never more than epsilon votes behind the ledger.
       0 (default) always re-aggregates dirty components — the exact,
       pre-existing behavior.
+    * ``checkpoint_dir`` — when set, a streaming session is *durable*:
+      every event is written to an fsynced write-ahead journal in this
+      directory before it is applied, and compacted snapshots let
+      :meth:`repro.streaming.StreamingResolver.restore` resume the session
+      bit-identically after a crash or restart.  ``None`` (default) keeps
+      the session in memory only.
+    * ``checkpoint_every_batches`` — snapshot cadence of a durable
+      session: a compacted snapshot is written after every this-many
+      applied events (batches, retractions, updates, flushes), bounding
+      how much journal a restore has to replay.  0 disables automatic
+      snapshots (journal-only durability; snapshots still happen on
+      explicit ``save()`` calls).
     * ``seed`` — seed for the crowd simulation.
     """
 
@@ -76,6 +88,8 @@ class WorkflowConfig:
     recrowd_policy: str = "never"
     streaming_aggregation_scope: str = "component"
     staleness_epsilon: int = 0
+    checkpoint_dir: Optional[str] = None
+    checkpoint_every_batches: int = 16
     decision_threshold: float = 0.5
     seed: int = 0
 
@@ -100,6 +114,10 @@ class WorkflowConfig:
             raise ValueError("join_workers must be non-negative (0 = one per core)")
         if self.staleness_epsilon < 0:
             raise ValueError("staleness_epsilon must be non-negative")
+        if self.checkpoint_every_batches < 0:
+            raise ValueError(
+                "checkpoint_every_batches must be non-negative (0 = only on save())"
+            )
         if self.vote_mode not in ("sequential", "per-pair"):
             raise ValueError("vote_mode must be 'sequential' or 'per-pair'")
         if self.stream_batch_size < 1:

@@ -46,6 +46,13 @@ class StreamingDelta:
         ledger gained fewer than ``staleness_epsilon`` new votes since
         their last aggregation (bounded-staleness aggregation; always 0
         when the epsilon is 0).
+    retracted_records:
+        Records removed from the session by ``retract``/``update`` this
+        event (0 for plain arrivals).
+    invalidated_pairs:
+        Candidate pairs dropped because one of their records was retracted
+        — the provenance-reachable region whose votes, posteriors and
+        coverage were discarded.
     """
 
     batch_index: int = 0
@@ -59,6 +66,8 @@ class StreamingDelta:
     reused_vote_pairs: int = 0
     preserved_posterior_pairs: int = 0
     stale_skipped_components: int = 0
+    retracted_records: int = 0
+    invalidated_pairs: int = 0
 
     def as_dict(self) -> Dict[str, int]:
         """Plain-dict view used by the CLI and benchmark reports."""
@@ -74,6 +83,8 @@ class StreamingDelta:
             "reused_vote_pairs": self.reused_vote_pairs,
             "preserved_posterior_pairs": self.preserved_posterior_pairs,
             "stale_skipped_components": self.stale_skipped_components,
+            "retracted_records": self.retracted_records,
+            "invalidated_pairs": self.invalidated_pairs,
         }
 
 

@@ -82,6 +82,67 @@ class IncrementalUnionFind:
         """Mark the component containing ``item`` dirty (item must exist)."""
         self._dirty.add(self.find(item))
 
+    def detach(self, items: Iterable[str]) -> List[str]:
+        """Remove ``items`` from the structure entirely.
+
+        Union-find cannot delete a vertex in place, so every component that
+        contains a detached item is dissolved: the detached items vanish and
+        the *surviving* members of those components are re-added as dirty
+        singletons.  The caller is responsible for re-unioning the surviving
+        edges (the streaming resolver replays each survivor's provenance
+        pairs), after which the touched components are exactly the connected
+        components of the surviving edge set.
+
+        Returns the surviving members, in their original membership order,
+        so the caller knows whose edges to replay.  Unknown items are
+        ignored.
+        """
+        doomed = {item for item in items if item in self._parent}
+        if not doomed:
+            return []
+        roots = {self.find(item) for item in doomed}
+        survivors: List[str] = []
+        for root in roots:
+            members = self._members.pop(root)
+            del self._size[root]
+            self._dirty.discard(root)
+            for member in members:
+                del self._parent[member]
+                if member not in doomed:
+                    survivors.append(member)
+        for member in survivors:
+            self.add(member)  # dirty singleton
+        return survivors
+
+    # -------------------------------------------------------- serialization
+    def state_dict(self) -> Dict[str, object]:
+        """Serializable snapshot of the full structure.
+
+        Captures the parent forest, sizes, member lists and the dirty set
+        verbatim (including internal ordering), so a restored instance is
+        indistinguishable from the original — roots, member enumeration
+        order and dirtiness all survive a round trip bit-for-bit.
+        """
+        return {
+            "parent": dict(self._parent),
+            "size": dict(self._size),
+            "members": {root: list(members) for root, members in self._members.items()},
+            "dirty": sorted(self._dirty),
+        }
+
+    @classmethod
+    def from_state_dict(cls, state: Dict[str, object]) -> "IncrementalUnionFind":
+        """Rebuild an instance from :meth:`state_dict` output."""
+        instance = cls()
+        instance._parent = dict(state["parent"])  # type: ignore[arg-type]
+        instance._size = dict(state["size"])  # type: ignore[arg-type]
+        instance._members = {
+            root: list(members)
+            for root, members in state["members"].items()  # type: ignore[union-attr]
+        }
+        instance._dirty = set(state["dirty"])  # type: ignore[arg-type]
+        return instance
+
     def clear_dirty(self) -> None:
         """Declare every component clean (end of a batch round)."""
         self._dirty.clear()

@@ -94,6 +94,15 @@ class PairSet:
         """Convenience: add a pair given two record ids."""
         self.add(RecordPair(id_a, id_b, likelihood=likelihood))
 
+    def discard(self, id_a: str, id_b: str) -> bool:
+        """Remove the pair with the given ids if present.
+
+        Returns True when a pair was removed.  Insertion order of the
+        remaining pairs is unchanged, so downstream HIT generation stays
+        deterministic after a retraction.
+        """
+        return self._pairs.pop(canonical_pair(id_a, id_b), None) is not None
+
     def __len__(self) -> int:
         return len(self._pairs)
 

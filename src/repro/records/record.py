@@ -145,6 +145,19 @@ class RecordStore:
         self._records.append(record)
         self._by_id[record.record_id] = record
 
+    def remove(self, record_id: str) -> Record:
+        """Remove and return the record with the given id.
+
+        Raises :class:`RecordError` if the id is unknown.  O(n) in the store
+        size (the insertion-order list is rebuilt without the record); used
+        by streaming retraction, where removals are rare relative to scans.
+        """
+        record = self._by_id.pop(record_id, None)
+        if record is None:
+            raise RecordError(f"unknown record id: {record_id!r}")
+        self._records.remove(record)
+        return record
+
     def get(self, record_id: str) -> Record:
         """Return the record with the given id, raising ``KeyError`` if absent."""
         return self._by_id[record_id]

@@ -1,7 +1,7 @@
 """Pluggable similarity-join backends for the machine pass.
 
 The hybrid workflow's machine pass is a set-similarity self (or cross) join
-at a likelihood threshold.  Three interchangeable engines implement it:
+at a likelihood threshold.  Four interchangeable engines implement it:
 
 * ``naive`` — the reference O(n^2) all-pairs scan
   (:func:`repro.simjoin.allpairs.all_pairs_similarity`);

@@ -90,6 +90,47 @@ def extend_vocabulary_csr_arrays(
     return _fill_indices(flat, vocabulary), indptr
 
 
+def tombstone_data_array(
+    indptr: Sequence[int], dead_rows: Iterable[int], dtype=np.int32
+) -> np.ndarray:
+    """A CSR ``data`` array of ones with the dead rows' occurrences zeroed.
+
+    Retracting a record from the streaming index must not pay an O(nnz)
+    rebuild of the accumulated chunks, so dead rows stay resident as
+    *tombstones*: their column indices remain in the flat arrays, but their
+    ``data`` entries are zero, which makes every intersection count against
+    them zero and therefore every similarity exactly ``0.0`` — below any
+    positive threshold.  Rows are only physically dropped by
+    :func:`compact_csr_arrays` when enough tombstones accumulate.
+    """
+    indptr_array = np.asarray(indptr, dtype=np.int64)
+    data = np.ones(int(indptr_array[-1]), dtype=dtype)
+    for row in dead_rows:
+        data[indptr_array[row] : indptr_array[row + 1]] = 0
+    return data
+
+
+def compact_csr_arrays(
+    indices: np.ndarray, indptr: Sequence[int], dead_rows: Iterable[int]
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Physically drop tombstoned rows from flat CSR arrays.
+
+    Returns new ``(indices, indptr)`` containing only the surviving rows, in
+    their original order.  One vectorized boolean-mask pass over the
+    occurrence array — no per-row Python loop.
+    """
+    indptr_array = np.asarray(indptr, dtype=np.int64)
+    row_count = len(indptr_array) - 1
+    alive = np.ones(row_count, dtype=bool)
+    for row in dead_rows:
+        alive[row] = False
+    lengths = np.diff(indptr_array)
+    keep_occurrences = np.repeat(alive, lengths)
+    new_indptr = np.zeros(int(alive.sum()) + 1, dtype=np.int64)
+    np.cumsum(lengths[alive], out=new_indptr[1:])
+    return np.asarray(indices)[keep_occurrences], new_indptr
+
+
 def per_record_csr_arrays(token_sets: Sequence[Iterable[str]]) -> CsrArrays:
     """The legacy per-record/per-token loop, kept as a reference baseline.
 

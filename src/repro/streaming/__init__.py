@@ -1,16 +1,28 @@
 """Streaming incremental entity resolution (the ``repro.streaming`` subsystem).
 
 CrowdER resolves a table in one batch pass; this package keeps a resolution
-session open while records keep arriving:
+session open while records keep arriving — and makes that session durable
+and revisable:
 
 * :class:`IncrementalSimJoin` — the machine pass against a persistent
   token/CSR index; each batch joins new-vs-old plus new-vs-new only, and
-  the union of deltas is exactly the full-store join.
+  the union of deltas is exactly the full-store join.  Retracted records
+  become tombstoned rows, physically dropped by periodic compaction.
 * :class:`StreamingResolver` — the session: incremental union-find with
   dirty-component tracking, HIT regeneration restricted to dirty
   components, a per-pair vote ledger with a configurable re-crowd policy,
   cached posteriors for clean components, and delta-aware
   :class:`~repro.core.results.ResolutionResult` snapshots.
+* :class:`ProvenanceLedger` — per-pair provenance (source records,
+  covering HITs, vote rounds) that makes ``retract(record_id)`` and
+  ``update(record)`` precise: exactly the provenance-reachable pairs and
+  components are invalidated and re-resolved, nothing else.
+* :mod:`repro.streaming.persistence` — durability: a write-ahead journal
+  of every session event plus compacted snapshots, giving
+  ``StreamingResolver.save()`` / ``StreamingResolver.restore()`` with a
+  bit-identical crash-recovery guarantee (crash after any prefix of
+  events, restore, replay the tail — same matches, posteriors and ranked
+  pairs as a session that never stopped).
 * :func:`resolve_stream` — replay a dataset through a session in arrival
   batches (what the ``resolve-stream`` CLI command runs).
 
@@ -18,11 +30,16 @@ Session lifecycle::
 
     from repro.streaming import StreamingResolver
 
-    session = StreamingResolver(WorkflowConfig(likelihood_threshold=0.35))
+    config = WorkflowConfig(likelihood_threshold=0.35,
+                            checkpoint_dir="/var/lib/er-session")
+    session = StreamingResolver(config)
     session.add_truth(known_matches)          # feeds the simulated crowd
     snap = session.add_batch(first_records)   # join + crowd + aggregate
     snap = session.add_batch(more_records)    # only dirty components redo work
-    print(snap.delta.as_dict(), len(snap.matches))
+    snap = session.retract("r42")             # invalidate r42's provenance
+    # ... process dies; later, in a fresh process:
+    session = StreamingResolver.restore("/var/lib/er-session")
+    snap = session.add_batch(next_records)    # continues bit-identically
 
 Dirty-component semantics: a component is dirty for a batch if it gained a
 record or a candidate pair (including via merges); only dirty components
@@ -32,10 +49,26 @@ posteriors are preserved bit-for-bit across the batch.
 """
 
 from repro.streaming.incremental_join import IncrementalSimJoin
+from repro.streaming.persistence import (
+    JournalCorruptionError,
+    PersistenceError,
+    SessionJournal,
+)
+from repro.streaming.provenance import (
+    PairProvenance,
+    ProvenanceLedger,
+    RetractionImpact,
+)
 from repro.streaming.session import StreamingResolver, resolve_stream
 
 __all__ = [
     "IncrementalSimJoin",
+    "JournalCorruptionError",
+    "PairProvenance",
+    "PersistenceError",
+    "ProvenanceLedger",
+    "RetractionImpact",
+    "SessionJournal",
     "StreamingResolver",
     "resolve_stream",
 ]

@@ -44,7 +44,11 @@ from repro.simjoin.backend import (
     AUTO_VECTORIZED_MIN_RECORDS,
     resolve_backend,
 )
-from repro.simjoin.columnar import extend_vocabulary_csr_arrays
+from repro.simjoin.columnar import (
+    compact_csr_arrays,
+    extend_vocabulary_csr_arrays,
+    tombstone_data_array,
+)
 from repro.simjoin.parallel import (
     parallel_new_vs_old_blocks,
     resolve_worker_count,
@@ -85,9 +89,20 @@ class IncrementalSimJoin:
         than one row block, so small appends never pay pool overhead.  Any
         value yields bit-identical deltas.
 
-    State grows monotonically: records can only be added, never removed —
-    retraction requires provenance the CrowdER pipeline doesn't track.
+    Records are appended in batches and can be *retracted* individually
+    (:meth:`retract`): a retracted record's CSR row becomes a tombstone
+    whose data entries are zero — every intersection against it is zero, so
+    it can never pass a positive threshold — and the row is physically
+    dropped once enough tombstones accumulate (:meth:`compact`).  A
+    retracted id may be re-added by a later batch, which is how record
+    *update* is implemented one level up
+    (:meth:`repro.streaming.StreamingResolver.update`).
     """
+
+    #: Auto-compaction floor: never compact for fewer tombstones than this.
+    COMPACT_MIN_TOMBSTONES = 64
+    #: Auto-compaction trigger: compact when dead rows exceed this fraction.
+    COMPACT_DEAD_FRACTION = 0.25
 
     def __init__(
         self,
@@ -111,8 +126,12 @@ class IncrementalSimJoin:
         self.block_size = block_size
         self.workers = workers
         self._tokenizer = WhitespaceTokenizer()
-        # Persistent index over all resident records.
+        # Persistent index over all resident records.  ``_record_ids`` is
+        # row-aligned with the CSR arrays and may contain tombstoned rows
+        # (``_dead_rows``); ``_row_of`` maps each *alive* id to its row.
         self._record_ids: List[str] = []
+        self._row_of: Dict[str, int] = {}
+        self._dead_rows: Set[int] = set()
         self._token_sets: Dict[str, FrozenSet[str]] = {}
         self._sources: Dict[str, Optional[str]] = {}
         self._empty_ids: List[str] = []
@@ -132,15 +151,25 @@ class IncrementalSimJoin:
 
     # -------------------------------------------------------------- queries
     def __len__(self) -> int:
-        return len(self._record_ids)
+        """Number of *alive* (non-retracted) resident records."""
+        return len(self._token_sets)
 
     def __contains__(self, record_id: object) -> bool:
         return record_id in self._token_sets
 
     @property
     def record_ids(self) -> List[str]:
-        """Resident record ids in arrival order."""
-        return list(self._record_ids)
+        """Alive resident record ids in arrival order."""
+        return [
+            record_id
+            for row, record_id in enumerate(self._record_ids)
+            if row not in self._dead_rows
+        ]
+
+    @property
+    def tombstone_count(self) -> int:
+        """Number of retracted rows still resident as tombstones."""
+        return len(self._dead_rows)
 
     def token_set(self, record_id: str) -> FrozenSet[str]:
         """The indexed token set of a resident record."""
@@ -189,6 +218,72 @@ class IncrementalSimJoin:
             sorted(delta, key=lambda pair: (-(pair.likelihood or 0.0), pair.key))
         )
 
+    def retract(self, record_id: str) -> None:
+        """Remove one resident record from the index.
+
+        The record's CSR row becomes a tombstone (zeroed data, see
+        :func:`repro.simjoin.columnar.tombstone_data_array`), so no future
+        batch can join against it; its id becomes re-addable immediately.
+        Tombstones are physically dropped by :meth:`compact`, which runs
+        automatically once they exceed ``COMPACT_DEAD_FRACTION`` of the
+        resident rows (with a floor of ``COMPACT_MIN_TOMBSTONES``).
+
+        Raises :class:`~repro.records.record.RecordError` for unknown (or
+        already retracted) ids.
+        """
+        tokens = self._token_sets.pop(record_id, None)
+        if tokens is None:
+            raise RecordError(f"unknown record id: {record_id!r}")
+        self._dead_rows.add(self._row_of.pop(record_id))
+        del self._sources[record_id]
+        if not tokens:
+            self._empty_ids.remove(record_id)
+        if self._maintain_inverted:
+            for token in tokens:
+                postings = self._inverted.get(token)
+                if postings is not None:
+                    postings.remove(record_id)
+                    if not postings:
+                        del self._inverted[token]
+        if (
+            len(self._dead_rows) >= self.COMPACT_MIN_TOMBSTONES
+            and len(self._dead_rows)
+            >= self.COMPACT_DEAD_FRACTION * len(self._record_ids)
+        ):
+            self.compact()
+
+    def compact(self) -> int:
+        """Physically drop tombstoned rows from the CSR arrays.
+
+        One vectorized mask pass over the accumulated occurrence array
+        (:func:`repro.simjoin.columnar.compact_csr_arrays`); row order of
+        the survivors is preserved, so join results are unaffected.  The
+        vocabulary keeps columns that no longer occur — a column of zeros
+        cannot change any intersection count, and dropping columns would
+        force an O(nnz) re-map.  Returns the number of rows dropped.
+        """
+        if not self._dead_rows:
+            return 0
+        dropped = len(self._dead_rows)
+        indices = (
+            np.concatenate(self._index_chunks)
+            if self._index_chunks
+            else np.empty(0, dtype=np.int64)
+        )
+        new_indices, new_indptr = compact_csr_arrays(
+            indices, self._indptr, self._dead_rows
+        )
+        self._index_chunks = [new_indices] if len(new_indices) else []
+        self._indptr = new_indptr.tolist()
+        self._record_ids = [
+            record_id
+            for row, record_id in enumerate(self._record_ids)
+            if row not in self._dead_rows
+        ]
+        self._row_of = {record_id: row for row, record_id in enumerate(self._record_ids)}
+        self._dead_rows = set()
+        return dropped
+
     # ------------------------------------------------------------ internals
     def _cross_ok(self, source_a: Optional[str], source_b: Optional[str]) -> bool:
         if self.cross_sources is None:
@@ -221,12 +316,16 @@ class IncrementalSimJoin:
         batch_indices: np.ndarray,
         batch_indptr: np.ndarray,
     ) -> None:
+        # Once the inverted index has been dropped (it is only maintained
+        # for the probe path) the CSR product is the only complete index, so
+        # the choice is sticky even if compaction shrinks the store again.
         use_vectorized = (
             HAVE_SCIPY
             and self.backend != "naive"
             and self.backend != "prefix"
             and (
                 self.backend in ("vectorized", "parallel")
+                or not self._maintain_inverted
                 or len(self._record_ids) >= AUTO_VECTORIZED_MIN_RECORDS
             )
         )
@@ -253,9 +352,10 @@ class IncrementalSimJoin:
         delta: PairSet,
     ) -> None:
         """Threshold zero: every new-vs-old pair is scored (naive bipartite scan)."""
+        alive_ids = self.record_ids
         for record in batch:
             tokens = new_tokens[record.record_id]
-            for old_id in self._record_ids:
+            for old_id in alive_ids:
                 if not self._cross_ok(record.source, self._sources[old_id]):
                     continue
                 old_tokens = self._token_sets[old_id]
@@ -312,9 +412,17 @@ class IncrementalSimJoin:
             if self._index_chunks
             else np.empty(0, dtype=np.int64)
         )
+        # Tombstoned rows contribute zero data: intersections against them
+        # are zero, so their similarity is exactly 0.0 — below any positive
+        # threshold (this path is unreachable at threshold <= 0).
+        old_data = (
+            tombstone_data_array(self._indptr, self._dead_rows)
+            if self._dead_rows
+            else np.ones(len(old_indices), dtype=np.int32)
+        )
         old_matrix = sparse.csr_matrix(
             (
-                np.ones(len(old_indices), dtype=np.int32),
+                old_data,
                 old_indices,
                 np.asarray(self._indptr, dtype=np.int64),
             ),
@@ -377,6 +485,7 @@ class IncrementalSimJoin:
         for record in batch:
             record_id = record.record_id
             tokens = new_tokens[record_id]
+            self._row_of[record_id] = len(self._record_ids)
             self._record_ids.append(record_id)
             self._token_sets[record_id] = tokens
             self._sources[record_id] = record.source
@@ -385,9 +494,10 @@ class IncrementalSimJoin:
             if self._maintain_inverted:
                 for token in tokens:
                     self._inverted[token].append(record_id)
-        # Growth is monotonic, so once the store is big enough for the CSR
-        # product the probe path is unreachable forever: stop paying the
-        # per-occurrence posting appends and drop the duplicate index.
+        # Once the store is big enough for the CSR product the probe path is
+        # unreachable (and stays unreachable: the choice is sticky even
+        # across compaction): stop paying the per-occurrence posting appends
+        # and drop the duplicate index.
         if (
             self._maintain_inverted
             and HAVE_SCIPY
@@ -396,3 +506,73 @@ class IncrementalSimJoin:
         ):
             self._maintain_inverted = False
             self._inverted.clear()
+
+    # -------------------------------------------------------- serialization
+    def state_dict(self) -> Dict[str, object]:
+        """Serializable (picklable) snapshot of the whole index.
+
+        Contains the construction parameters, the persistent vocabulary,
+        the flat CSR arrays (chunks concatenated — the exact arrays a
+        restored instance will multiply against), the tombstone set and the
+        per-record bookkeeping.  Everything a fresh process needs to
+        continue the join with bit-identical results.  Containers are
+        shallow copies of the live state (their elements are immutable), so
+        building the snapshot is O(state) with no re-encoding.
+        """
+        return {
+            "threshold": self.threshold,
+            "attributes": self.attributes,
+            "backend": self.backend,
+            "cross_sources": self.cross_sources,
+            "block_size": self.block_size,
+            "workers": self.workers,
+            "record_ids": list(self._record_ids),
+            "row_of": dict(self._row_of),
+            "dead_rows": set(self._dead_rows),
+            "token_sets": dict(self._token_sets),
+            "sources": dict(self._sources),
+            "empty_ids": list(self._empty_ids),
+            "vocabulary": dict(self._vocab),
+            "indices": (
+                np.concatenate(self._index_chunks)
+                if self._index_chunks
+                else np.empty(0, dtype=np.int64)
+            ),
+            "indptr": list(self._indptr),
+            "maintain_inverted": self._maintain_inverted,
+            "inverted": {
+                token: list(ids) for token, ids in self._inverted.items()
+            },
+        }
+
+    @classmethod
+    def from_state_dict(cls, state: Dict[str, object]) -> "IncrementalSimJoin":
+        """Rebuild an index from :meth:`state_dict` output."""
+        instance = cls(
+            threshold=state["threshold"],  # type: ignore[arg-type]
+            attributes=state["attributes"],  # type: ignore[arg-type]
+            backend=state["backend"],  # type: ignore[arg-type]
+            cross_sources=(
+                tuple(state["cross_sources"]) if state["cross_sources"] else None  # type: ignore[arg-type]
+            ),
+            block_size=state["block_size"],  # type: ignore[arg-type]
+            workers=state["workers"],  # type: ignore[arg-type]
+        )
+        instance._record_ids = list(state["record_ids"])  # type: ignore[arg-type]
+        instance._row_of = dict(state["row_of"])  # type: ignore[arg-type]
+        instance._dead_rows = set(state["dead_rows"])  # type: ignore[arg-type]
+        instance._token_sets = {
+            record_id: frozenset(tokens)
+            for record_id, tokens in state["token_sets"].items()  # type: ignore[union-attr]
+        }
+        instance._sources = dict(state["sources"])  # type: ignore[arg-type]
+        instance._empty_ids = list(state["empty_ids"])  # type: ignore[arg-type]
+        instance._vocab = dict(state["vocabulary"])  # type: ignore[arg-type]
+        indices = np.asarray(state["indices"], dtype=np.int64)
+        instance._index_chunks = [indices] if len(indices) else []
+        instance._indptr = list(state["indptr"])  # type: ignore[arg-type]
+        instance._maintain_inverted = bool(state["maintain_inverted"])
+        instance._inverted = defaultdict(list)
+        for token, ids in state["inverted"].items():  # type: ignore[union-attr]
+            instance._inverted[token] = list(ids)
+        return instance

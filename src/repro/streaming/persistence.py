@@ -1,0 +1,334 @@
+"""Durable streaming sessions: write-ahead journal plus compacted snapshots.
+
+A crowdsourced resolution session is long-lived — votes arrive over hours
+and cost real money — so :class:`repro.streaming.StreamingResolver` can be
+made *durable*: point ``WorkflowConfig.checkpoint_dir`` at a directory and
+every session event is journaled before it is applied, with periodic
+compacted snapshots so recovery does not replay the whole history.
+
+Directory layout::
+
+    checkpoint_dir/
+        journal.jsonl            append-only event log (one JSON object per line)
+        snapshot-<seq>.pkl       compacted state after the first <seq> events
+
+**Journal.**  Each line carries a monotonically increasing ``seq``, an
+event ``type``, a ``payload`` and a CRC over all three.  *Intent* events
+(``session``, ``truth``, ``batch``, ``retract``, ``update``, ``flush``)
+are written **before** the state change they describe is applied (the
+write-ahead rule); *outcome* events (``commit``) are written after, and
+record the fresh crowd votes, the delta and a digest of the aggregated
+state — so the journal is simultaneously a redo log and an audit trail of
+every vote the session paid for.  A line truncated by a crash mid-write is
+detected (bad JSON or CRC on the final line) and dropped; corruption
+anywhere earlier raises :class:`JournalCorruptionError`.
+
+**Snapshots.**  A snapshot is a pickle of the session's complete state
+dict (token vocabulary, flat CSR arrays, union-find forest, vote ledger,
+posterior cache, provenance ledger, crowd-cost counters) written to a
+temporary file and atomically renamed, tagged with the number of journal
+events it reflects.  Restoring loads the newest readable snapshot and
+replays only the journal tail — events the snapshot has not seen —
+re-deriving votes through the deterministic per-pair oracle and verifying
+them against the journaled ``commit`` events.
+
+**Recovery guarantee.**  Because intent events are journaled before they
+are applied and every apply is deterministic (per-pair vote mode), a crash
+after *any* prefix of events loses nothing: ``restore`` rebuilds exactly
+the state of a session that processed that prefix, and replaying the
+remaining events yields results bit-identical to a session that never
+stopped.  ``tests/test_persistence.py`` property-tests this for random
+event schedules and crash points.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pickle
+import re
+import zlib
+from dataclasses import dataclass
+from hashlib import sha256
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.records.record import Record
+
+JOURNAL_FILENAME = "journal.jsonl"
+SNAPSHOT_PATTERN = re.compile(r"^snapshot-(\d+)\.pkl$")
+FORMAT_VERSION = 1
+
+#: Journal event types that mutate session state (written before applying).
+INTENT_EVENT_TYPES = ("session", "truth", "batch", "retract", "update", "flush")
+#: Journal event types that record an applied event's outcome.
+OUTCOME_EVENT_TYPES = ("commit",)
+
+
+class PersistenceError(RuntimeError):
+    """Raised for invalid checkpoint directories or replay failures."""
+
+
+class JournalCorruptionError(PersistenceError):
+    """Raised when the journal is corrupt beyond a crash-truncated tail."""
+
+
+# ---------------------------------------------------------------- encoding
+def encode_record(record: Record) -> Dict[str, object]:
+    """JSON-safe encoding of a :class:`~repro.records.record.Record`."""
+    return {
+        "record_id": record.record_id,
+        "attributes": dict(record.attributes),
+        "source": record.source,
+    }
+
+
+def decode_record(payload: Dict[str, object]) -> Record:
+    """Inverse of :func:`encode_record`."""
+    return Record(
+        record_id=payload["record_id"],  # type: ignore[arg-type]
+        attributes=payload["attributes"],  # type: ignore[arg-type]
+        source=payload["source"],  # type: ignore[arg-type]
+    )
+
+
+def encode_votes(votes: Sequence[Tuple[str, Tuple[str, str], bool]]) -> List[list]:
+    """JSON-safe encoding of ``(worker_id, pair_key, answer)`` votes."""
+    return [[worker, [key[0], key[1]], bool(answer)] for worker, key, answer in votes]
+
+
+def decode_votes(payload: Sequence[list]) -> List[Tuple[str, Tuple[str, str], bool]]:
+    """Inverse of :func:`encode_votes`."""
+    return [(worker, (key[0], key[1]), bool(answer)) for worker, key, answer in payload]
+
+
+def _line_crc(seq: int, event_type: str, payload: Dict[str, object]) -> int:
+    canonical = json.dumps(
+        {"seq": seq, "type": event_type, "payload": payload},
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return zlib.crc32(canonical.encode("utf-8"))
+
+
+def state_digest(posteriors: Dict[Tuple[str, str], float], cost: float, hit_count: int) -> str:
+    """Cheap, exact digest of a session's aggregated state.
+
+    Floats are hashed through ``float.hex`` so the digest is sensitive to
+    the last bit — the recovery property is *bit*-identity, not closeness.
+    """
+    hasher = sha256()
+    for key in sorted(posteriors):
+        hasher.update(f"{key[0]}|{key[1]}|{posteriors[key].hex()};".encode("utf-8"))
+    hasher.update(f"cost={cost.hex()};hits={hit_count}".encode("utf-8"))
+    return hasher.hexdigest()
+
+
+# ----------------------------------------------------------------- journal
+@dataclass
+class JournalEvent:
+    """One parsed journal line."""
+
+    seq: int
+    type: str
+    payload: Dict[str, object]
+
+
+class SessionJournal:
+    """Append-only, CRC-checked, crash-tolerant event log.
+
+    Appends are flushed and fsynced by default (``sync=False`` trades the
+    durability of the last few events for speed — useful in benchmarks).
+    """
+
+    def __init__(
+        self, directory: os.PathLike, sync: bool = True, start_seq: int = 1
+    ) -> None:
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.path = self.directory / JOURNAL_FILENAME
+        self.sync = sync
+        # Parse (and, if a crash left a torn tail line, repair) the file
+        # once; the journal is single-writer, so the cache stays accurate.
+        self._events = self._scan_and_repair()
+        self._next_seq = max(
+            self._events[-1].seq + 1 if self._events else 1, start_seq
+        )
+
+    @property
+    def last_seq(self) -> int:
+        """Sequence number of the most recently appended event (0 if none)."""
+        return self._next_seq - 1
+
+    @property
+    def event_count(self) -> int:
+        """Number of valid events currently in the journal file."""
+        return len(self._events)
+
+    def append(self, event_type: str, payload: Dict[str, object]) -> int:
+        """Append one event; returns its sequence number.
+
+        The line is written, flushed and (by default) fsynced before the
+        call returns — the write-ahead rule callers rely on.
+        """
+        seq = self._next_seq
+        line = json.dumps(
+            {
+                "seq": seq,
+                "type": event_type,
+                "payload": payload,
+                "crc": _line_crc(seq, event_type, payload),
+            },
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+        with open(self.path, "a", encoding="utf-8") as handle:
+            handle.write(line + "\n")
+            handle.flush()
+            if self.sync:
+                os.fsync(handle.fileno())
+        self._events.append(JournalEvent(seq=seq, type=event_type, payload=payload))
+        self._next_seq += 1
+        return seq
+
+    def events(self) -> List[JournalEvent]:
+        """All valid events, in order (a copy of the parsed cache).
+
+        A final line that failed to parse or checksum was treated as a
+        crash artifact and truncated away when the journal was opened; the
+        same failure on any earlier line raises
+        :class:`JournalCorruptionError`, and so do sequence-number gaps.
+        """
+        return list(self._events)
+
+    def _scan_and_repair(self) -> List[JournalEvent]:
+        """Parse the journal file, truncating a crash-torn tail line.
+
+        A line torn by a crash mid-write (bad JSON or bad CRC, final line
+        only) is physically removed, not merely skipped: appending after a
+        skipped partial line would merge the new event into the garbage
+        bytes and silently lose it, breaking the write-ahead guarantee.
+        """
+        if not self.path.exists():
+            return []
+        with open(self.path, "r", encoding="utf-8") as handle:
+            raw = handle.read()
+        lines = raw.splitlines()
+        events: List[JournalEvent] = []
+        valid_bytes = 0
+        for index, line in enumerate(lines):
+            is_last = index == len(lines) - 1
+            if not line.strip():
+                valid_bytes += len(line.encode("utf-8")) + 1
+                continue
+            try:
+                entry = json.loads(line)
+                seq, event_type = entry["seq"], entry["type"]
+                payload, crc = entry["payload"], entry["crc"]
+                if crc != _line_crc(seq, event_type, payload):
+                    raise ValueError("checksum mismatch")
+            except (ValueError, KeyError, TypeError) as error:
+                if is_last:
+                    break  # crash-truncated tail line: repaired below
+                raise JournalCorruptionError(
+                    f"journal line {index + 1} is corrupt mid-stream: {error}"
+                ) from error
+            # The first event may start above 1 (a journal created after a
+            # snapshot-only restore fast-forwards past the snapshot's
+            # events); after that, sequence numbers must be gapless.
+            if events and seq != events[-1].seq + 1:
+                raise JournalCorruptionError(
+                    f"journal line {index + 1} has sequence {seq}, "
+                    f"expected {events[-1].seq + 1}"
+                )
+            events.append(JournalEvent(seq=seq, type=event_type, payload=payload))
+            valid_bytes += len(line.encode("utf-8")) + 1
+        # Repair the tail so future appends start on a clean line: torn
+        # garbage is truncated away; a valid final line that lost only its
+        # newline (valid_bytes overcounts by the assumed "\n") gets one.
+        raw_byte_count = len(raw.encode("utf-8"))
+        if valid_bytes < raw_byte_count:
+            with open(self.path, "a+b") as handle:
+                handle.truncate(valid_bytes)
+                handle.flush()
+                os.fsync(handle.fileno())
+        elif valid_bytes > raw_byte_count:
+            with open(self.path, "ab") as handle:
+                handle.write(b"\n")
+                handle.flush()
+                os.fsync(handle.fileno())
+        return events
+
+
+# ---------------------------------------------------------------- snapshots
+def snapshot_path(directory: os.PathLike, events_applied: int) -> Path:
+    """Path of the snapshot reflecting the first ``events_applied`` events."""
+    return Path(directory) / f"snapshot-{events_applied:012d}.pkl"
+
+
+def write_snapshot(
+    directory: os.PathLike,
+    state: Dict[str, object],
+    events_applied: int,
+    keep_old: bool = False,
+) -> Path:
+    """Atomically write a compacted snapshot; returns its path.
+
+    The pickle goes to a temporary file first and is renamed into place
+    (``os.replace``), so readers never observe a half-written snapshot.
+    Older snapshots are deleted afterwards unless ``keep_old`` is set —
+    the journal is never truncated, so they are redundant.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    payload = {
+        "version": FORMAT_VERSION,
+        "events_applied": events_applied,
+        "state": state,
+    }
+    target = snapshot_path(directory, events_applied)
+    temporary = target.with_suffix(".tmp")
+    with open(temporary, "wb") as handle:
+        pickle.dump(payload, handle, protocol=pickle.HIGHEST_PROTOCOL)
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(temporary, target)
+    if not keep_old:
+        for name in os.listdir(directory):
+            match = SNAPSHOT_PATTERN.match(name)
+            if match and int(match.group(1)) != events_applied:
+                (directory / name).unlink()
+    return target
+
+
+def load_latest_snapshot(
+    directory: os.PathLike,
+) -> Optional[Tuple[Dict[str, object], int]]:
+    """Load the newest readable snapshot as ``(state, events_applied)``.
+
+    Snapshots are tried newest-first; an unreadable one (torn write from a
+    pre-``os.replace`` crash, disk corruption) is skipped in favour of an
+    older one plus a longer journal replay.  Returns ``None`` when no
+    snapshot can be read.
+    """
+    directory = Path(directory)
+    if not directory.is_dir():
+        return None
+    candidates = sorted(
+        (
+            int(match.group(1))
+            for name in os.listdir(directory)
+            if (match := SNAPSHOT_PATTERN.match(name))
+        ),
+        reverse=True,
+    )
+    for events_applied in candidates:
+        try:
+            with open(snapshot_path(directory, events_applied), "rb") as handle:
+                payload = pickle.load(handle)
+            if payload.get("version") != FORMAT_VERSION:
+                continue
+            return payload["state"], payload["events_applied"]
+        except (OSError, pickle.UnpicklingError, EOFError, KeyError):
+            continue
+    return None

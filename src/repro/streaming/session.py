@@ -25,6 +25,25 @@ incrementally instead of recomputing it from scratch:
    accumulated votes (the mode that reproduces one-shot Dawid-Skene
    exactly, since EM shares worker confusion estimates globally).
 
+On top of arrivals the session supports **retraction and update**
+(:meth:`StreamingResolver.retract` / :meth:`StreamingResolver.update`):
+every pair's provenance is tracked in a
+:class:`~repro.streaming.provenance.ProvenanceLedger`, so removing a record
+invalidates exactly the provenance-reachable pairs and components — their
+votes, posteriors and HIT coverage are discarded, the surviving members are
+re-connected from their surviving edges, and only that dirty region is
+re-aggregated; every clean component is untouched.
+
+Sessions can also be made **durable**: with
+``WorkflowConfig.checkpoint_dir`` set, every event (batch, truth,
+retraction, update, flush) is written to an fsynced write-ahead journal
+*before* it is applied, fresh crowd votes and a state digest are journaled
+after, and a compacted snapshot is written every
+``checkpoint_every_batches`` events.  :meth:`StreamingResolver.save` forces
+a snapshot; :meth:`StreamingResolver.restore` rebuilds a session from the
+newest snapshot plus the journal tail, with results **bit-identical** to a
+session that never stopped (see :mod:`repro.streaming.persistence`).
+
 **Equivalence.**  Because set similarity is pairwise, the union of join
 deltas equals the full-store join; because per-pair votes are a pure
 function of the pair key, vote sets agree with a one-shot
@@ -33,11 +52,15 @@ and because ranking is shared (:mod:`repro.core.ranking`), the final match
 set is *identical* to batch resolution for any arrival order under
 ``recrowd_policy="never"`` (with majority aggregation in any scope, or
 Dawid-Skene in ``"global"`` scope).  The property tests in
-``tests/test_streaming.py`` assert this across randomized arrival orders.
+``tests/test_streaming.py`` assert this across randomized arrival orders,
+and ``tests/test_persistence.py`` asserts the crash-recovery property
+across randomized event schedules and crash points.
 """
 
 from __future__ import annotations
 
+from dataclasses import asdict, replace
+from pathlib import Path
 from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.aggregation.majority import Vote
@@ -52,9 +75,11 @@ from repro.crowd.qualification import QualificationTest
 from repro.crowd.worker import WorkerPool
 from repro.datasets.base import Dataset
 from repro.graph.union_find import IncrementalUnionFind
-from repro.records.pairs import PairSet, canonical_pair
-from repro.records.record import Record, RecordStore
+from repro.records.pairs import PairSet, RecordPair, canonical_pair
+from repro.records.record import Record, RecordError, RecordStore
+from repro.streaming import persistence
 from repro.streaming.incremental_join import IncrementalSimJoin
+from repro.streaming.provenance import ProvenanceLedger
 
 PairKey = Tuple[str, str]
 
@@ -69,6 +94,8 @@ class StreamingResolver:
         ``recrowd_policy``, ``streaming_aggregation_scope``,
         ``staleness_epsilon`` and ``stream_batch_size``; ``join_workers``
         shards the incremental machine pass across processes;
+        ``checkpoint_dir`` / ``checkpoint_every_batches`` make the session
+        durable (write-ahead journal plus periodic snapshots);
         ``vote_mode`` is forced to ``"per-pair"``
         (the sequential mode cannot preserve votes across batches).
     cross_sources:
@@ -77,8 +104,11 @@ class StreamingResolver:
         Optional pre-built crowd platform; must be in per-pair vote mode.
 
     Lifecycle: call :meth:`add_batch` for every arrival (it returns a
-    delta-aware :class:`~repro.core.results.ResolutionResult` snapshot) and
-    :meth:`snapshot` at any point for the current state without new data.
+    delta-aware :class:`~repro.core.results.ResolutionResult` snapshot),
+    :meth:`retract` / :meth:`update` when a record is withdrawn or revised,
+    :meth:`snapshot` at any point for the current state without new data,
+    :meth:`save` to checkpoint and :meth:`restore` to resume a durable
+    session after a crash or restart.
     """
 
     def __init__(
@@ -120,8 +150,8 @@ class StreamingResolver:
         self.store = RecordStore(name="stream")
         self.components = IncrementalUnionFind()
         self.candidates = PairSet()
+        self.provenance = ProvenanceLedger()
         self._truth: Set[PairKey] = set()
-        self._pairs_of_record: Dict[str, Set[PairKey]] = {}
         # Vote ledger: per-pair votes in oracle order, plus the number of
         # completed crowd rounds (0 = never asked).
         self._votes: Dict[PairKey, List[Vote]] = {}
@@ -142,6 +172,31 @@ class StreamingResolver:
         self._generator_name = ""
         self._batch_index = 0
         self._last_delta = StreamingDelta()
+        # Fresh votes folded in by the most recent applied event (journaled
+        # by the commit outcome record and verified during replay).
+        self._last_fresh_votes: Dict[PairKey, List[Vote]] = {}
+        # Durability: write-ahead journal + snapshot cadence.
+        self._journal: Optional[persistence.SessionJournal] = None
+        self._events_applied = 0
+        self._mutations_since_snapshot = 0
+        self._replaying = False
+        if self.config.checkpoint_dir:
+            directory = Path(self.config.checkpoint_dir)
+            journal = persistence.SessionJournal(directory)
+            if persistence.load_latest_snapshot(directory) is not None or journal.event_count:
+                raise persistence.PersistenceError(
+                    f"checkpoint directory {directory} already holds a session; "
+                    "use StreamingResolver.restore() to resume it"
+                )
+            self._journal = journal
+            self._journal_intent(
+                "session",
+                {
+                    "version": persistence.FORMAT_VERSION,
+                    "config": self._config_payload(),
+                    "cross_sources": list(cross_sources) if cross_sources else None,
+                },
+            )
 
     # -------------------------------------------------------------- queries
     @property
@@ -154,6 +209,11 @@ class StreamingResolver:
         """Number of candidate pairs discovered so far."""
         return len(self.candidates)
 
+    @property
+    def events_applied(self) -> int:
+        """Journal events reflected in the current state (0 if not durable)."""
+        return self._events_applied
+
     def votes_for(self, id_a: str, id_b: str) -> List[Vote]:
         """The current vote ledger entry of one pair (empty if never asked)."""
         return list(self._votes.get(canonical_pair(id_a, id_b), ()))
@@ -162,6 +222,15 @@ class StreamingResolver:
         """Candidate pairs covered by at least one published HIT so far."""
         return frozenset(self._covered)
 
+    def state_digest(self) -> str:
+        """Exact digest of the aggregated state (posteriors, cost, HITs).
+
+        Journaled by every commit record and re-checked during replay, so a
+        restore that diverged from the original session by even one float
+        bit is detected instead of silently trusted.
+        """
+        return persistence.state_digest(self._posteriors, self._cost, self._hit_count)
+
     # ------------------------------------------------------------------ api
     def add_truth(self, true_matches: Iterable[PairKey]) -> None:
         """Register ground-truth matching pairs for the simulated crowd.
@@ -169,7 +238,9 @@ class StreamingResolver:
         The simulated workers look answers up in this set; pairs may
         reference records that have not arrived yet.
         """
-        self._truth.update(canonical_pair(a, b) for a, b in true_matches)
+        pairs = sorted({canonical_pair(a, b) for a, b in true_matches})
+        self._journal_intent("truth", {"pairs": [list(pair) for pair in pairs]})
+        self._apply_truth(pairs)
 
     def add_batch(
         self,
@@ -180,28 +251,121 @@ class StreamingResolver:
 
         Runs the incremental machine pass, dirties the touched components,
         regenerates and publishes HITs for them, folds fresh votes into the
-        ledger, re-aggregates what changed and snapshots the session.
+        ledger, re-aggregates what changed and snapshots the session.  For
+        durable sessions the batch is journaled before any state changes.
         """
-        if true_matches is not None:
-            self.add_truth(true_matches)
         batch = list(records)
+        seen_batch: Set[str] = set()
+        for record in batch:
+            if record.record_id in self.join or record.record_id in seen_batch:
+                raise RecordError(f"duplicate record id: {record.record_id!r}")
+            seen_batch.add(record.record_id)
+        truth_pairs = (
+            sorted({canonical_pair(a, b) for a, b in true_matches})
+            if true_matches is not None
+            else None
+        )
+        payload: Dict[str, object] = {
+            "records": [persistence.encode_record(record) for record in batch]
+        }
+        if truth_pairs is not None:
+            payload["truth"] = [list(pair) for pair in truth_pairs]
+        self._journal_intent("batch", payload)
+        result = self._apply_batch(batch, truth_pairs)
+        self._journal_commit()
+        self._maybe_autosave()
+        return result
+
+    def retract(self, record_id: str) -> ResolutionResult:
+        """Withdraw a resident record and re-resolve only what it touched.
+
+        Provenance makes the blast radius exact: the record's pairs (and
+        nothing else) are invalidated — dropped from the candidate set, the
+        vote ledger, the posterior cache and the HIT coverage — its rows
+        are tombstoned out of the columnar index, and the component it
+        lived in is re-formed from the surviving edges.  Only the resulting
+        dirty components are re-aggregated (bypassing the staleness filter:
+        after a retraction the cached posteriors of the touched region are
+        wrong, not merely stale); every clean component is untouched, which
+        the returned ``delta`` reports (``retracted_records``,
+        ``invalidated_pairs``, ``dirty_components`` vs
+        ``clean_components``).
+
+        Retraction never publishes HITs — surviving pairs keep the votes
+        they already paid for.  Raises
+        :class:`~repro.records.record.RecordError` for unknown ids.
+        """
+        if record_id not in self.store:
+            raise RecordError(f"unknown record id: {record_id!r}")
+        self._journal_intent("retract", {"record_id": record_id})
+        result = self._apply_retract(record_id)
+        self._journal_commit()
+        self._maybe_autosave()
+        return result
+
+    def update(self, record: Record) -> ResolutionResult:
+        """Replace a resident record with a revised version.
+
+        Equivalent to :meth:`retract` followed by ingesting the new version
+        as a one-record batch (journaled as a single ``update`` event): the
+        old version's provenance-reachable pairs are invalidated, the new
+        version is joined against the resident store, and the touched
+        components are re-crowdsourced/re-aggregated under the configured
+        re-crowd policy.  The returned delta carries both sides —
+        ``retracted_records`` / ``invalidated_pairs`` from the retraction
+        and the regular arrival counters from the re-ingest.
+        """
+        if record.record_id not in self.store:
+            raise RecordError(f"unknown record id: {record.record_id!r}")
+        self._journal_intent("update", {"record": persistence.encode_record(record)})
+        result = self._apply_update(record)
+        self._journal_commit()
+        self._maybe_autosave()
+        return result
+
+    def flush(self) -> ResolutionResult:
+        """Fold every staleness-deferred component into the posterior cache.
+
+        Bounded-staleness aggregation (``config.staleness_epsilon``) can
+        leave components whose pending vote gain never crossed the bound;
+        ``flush`` re-aggregates each such component in full (the same unit
+        ``_aggregate`` uses) and returns the settled snapshot.  A no-op
+        when nothing is pending — e.g. with the default epsilon of 0.
+        """
+        self._journal_intent("flush", {})
+        result = self._apply_flush()
+        self._journal_commit()
+        self._maybe_autosave()
+        return result
+
+    # ------------------------------------------------------- event appliers
+    def _apply_truth(self, pairs: Iterable[Sequence[str]]) -> None:
+        self._truth.update((pair[0], pair[1]) for pair in pairs)
+
+    def _apply_batch(
+        self,
+        batch: List[Record],
+        truth_pairs: Optional[Iterable[Sequence[str]]],
+    ) -> ResolutionResult:
+        if truth_pairs is not None:
+            self._apply_truth(truth_pairs)
         self._batch_index += 1
         delta = StreamingDelta(batch_index=self._batch_index, new_records=len(batch))
+        self._last_fresh_votes = {}
 
         # Stage 1: incremental machine pass.
         new_pairs = self.join.add_batch(batch)
         for record in batch:
             self.store.add(record)
             self.components.add(record.record_id)
-            self._pairs_of_record.setdefault(record.record_id, set())
+            self.provenance.add_record(record.record_id)
         delta.new_candidate_pairs = len(new_pairs)
 
-        # Stage 2: component maintenance.
+        # Stage 2: component maintenance (and pair provenance).
         for pair in new_pairs:
             self.candidates.add(pair)
             self.components.union(pair.id_a, pair.id_b)
-            self._pairs_of_record[pair.id_a].add(pair.key)
-            self._pairs_of_record[pair.id_b].add(pair.key)
+            self.provenance.record_pair(pair.id_a, pair.id_b, self._batch_index)
 
         # Only dirty components are enumerated (their member lists are
         # maintained by the union-find); clean components cost nothing here.
@@ -209,7 +373,7 @@ class StreamingResolver:
         dirty_pairs: Set[PairKey] = set()
         for root in dirty_roots:
             for member in self.components.members(root):
-                dirty_pairs.update(self._pairs_of_record.get(member, ()))
+                dirty_pairs.update(self.provenance.pairs_of(member))
         delta.dirty_components = len(dirty_roots)
         delta.clean_components = self.components.component_count - len(dirty_roots)
         delta.dirty_pairs = len(dirty_pairs)
@@ -225,6 +389,339 @@ class StreamingResolver:
         self._last_delta = delta
         return self.snapshot()
 
+    def _apply_retract(self, record_id: str) -> ResolutionResult:
+        self._batch_index += 1
+        delta = StreamingDelta(batch_index=self._batch_index, retracted_records=1)
+        self._last_fresh_votes = {}
+
+        # Provenance bounds the blast radius: exactly the record's pairs.
+        impact = self.provenance.retract_record(record_id)
+        self.join.retract(record_id)
+        self.store.remove(record_id)
+        for key in impact.dropped_pairs:
+            self.candidates.discard(*key)
+            self._votes.pop(key, None)
+            self._vote_rounds.pop(key, None)
+            self._pending_votes.pop(key, None)
+            self._posteriors.pop(key, None)
+            self._covered.discard(key)
+        delta.invalidated_pairs = len(impact.dropped_pairs)
+
+        # Re-form the dissolved component from the surviving edges; the
+        # survivors come back dirty, everything else stays clean.
+        survivors = self.components.detach([record_id])
+        for survivor in survivors:
+            for key in self.provenance.pairs_of(survivor):
+                self.components.union(key[0], key[1])
+
+        dirty_roots = self.components.dirty_roots()
+        dirty_pairs: Set[PairKey] = set()
+        for root in dirty_roots:
+            for member in self.components.members(root):
+                dirty_pairs.update(self.provenance.pairs_of(member))
+        delta.dirty_components = len(dirty_roots)
+        delta.clean_components = self.components.component_count - len(dirty_roots)
+        delta.dirty_pairs = len(dirty_pairs)
+
+        # No crowdsourcing: retraction only removes evidence.  Re-aggregate
+        # the dirty region unconditionally — its cached posteriors are
+        # invalid, not merely stale, so the epsilon filter must not apply.
+        self._aggregate(dirty_pairs, delta, force=True)
+
+        self.components.clear_dirty()
+        self._last_delta = delta
+        return self.snapshot()
+
+    def _apply_update(self, record: Record) -> ResolutionResult:
+        self._apply_retract(record.record_id)
+        invalidated = self._last_delta.invalidated_pairs
+        self._apply_batch([record], None)
+        # Merge both halves into the event's delta: the ingest counters plus
+        # the retraction's invalidation stats.
+        self._last_delta.retracted_records = 1
+        self._last_delta.invalidated_pairs = invalidated
+        return self.snapshot()
+
+    def _apply_flush(self) -> ResolutionResult:
+        self._last_fresh_votes = {}
+        pending = [
+            key
+            for key, gained in self._pending_votes.items()
+            if gained > 0 and key in self._votes
+        ]
+        if pending:
+            roots = {self.components.find(key[0]) for key in pending}
+            keys: Set[PairKey] = set()
+            for root in roots:
+                for member in self.components.members(root):
+                    keys.update(self.provenance.pairs_of(member))
+            voted = [key for key in sorted(keys) if key in self._votes]
+            aggregator = build_aggregator(self.config)
+            for key, posterior in aggregator.aggregate(self._ledger_votes(voted)).items():
+                self._posteriors[key] = posterior
+            for key in voted:
+                self._pending_votes.pop(key, None)
+        return self.snapshot()
+
+    # ----------------------------------------------------------- durability
+    def _config_payload(self) -> Dict[str, object]:
+        payload = asdict(self.config)
+        if payload.get("similarity_attributes") is not None:
+            payload["similarity_attributes"] = list(payload["similarity_attributes"])
+        return payload
+
+    def _journal_intent(self, event_type: str, payload: Dict[str, object]) -> None:
+        """Write-ahead rule: record the intent before touching state."""
+        if self._journal is None or self._replaying:
+            return
+        self._events_applied = self._journal.append(event_type, payload)
+
+    def _journal_commit(self) -> None:
+        """Record an applied event's outcome: fresh votes, delta, digest."""
+        if self._journal is None or self._replaying:
+            return
+        payload = {
+            "delta": self._last_delta.as_dict(),
+            "votes": [
+                [key[0], key[1], persistence.encode_votes(votes)]
+                for key, votes in sorted(self._last_fresh_votes.items())
+            ],
+            "digest": self.state_digest(),
+        }
+        self._events_applied = self._journal.append("commit", payload)
+
+    def _maybe_autosave(self) -> None:
+        if self._journal is None or self._replaying:
+            return
+        every = self.config.checkpoint_every_batches
+        self._mutations_since_snapshot += 1
+        if every > 0 and self._mutations_since_snapshot >= every:
+            self.save()
+
+    def save(self, path: Optional[str] = None) -> Path:
+        """Write a compacted snapshot of the full session state.
+
+        ``path`` defaults to ``config.checkpoint_dir``.  The snapshot is
+        self-contained (it embeds the config), written atomically, and
+        tagged with the journal position it reflects — restoring loads it
+        and replays only the journal tail.  Returns the snapshot path.
+        """
+        directory = Path(path) if path is not None else (
+            Path(self.config.checkpoint_dir) if self.config.checkpoint_dir else None
+        )
+        if directory is None:
+            raise persistence.PersistenceError(
+                "save() needs a path (or config.checkpoint_dir to be set)"
+            )
+        target = persistence.write_snapshot(
+            directory, self.state_dict(), self._events_applied
+        )
+        if self._journal is not None and directory == self._journal.directory:
+            self._mutations_since_snapshot = 0
+        return target
+
+    @classmethod
+    def restore(
+        cls,
+        path: str,
+        config: Optional[WorkflowConfig] = None,
+        verify: bool = True,
+        resume_journal: bool = True,
+        platform: Optional[SimulatedCrowdPlatform] = None,
+        worker_pool: Optional[WorkerPool] = None,
+        pricing: Optional[PricingModel] = None,
+        latency: Optional[LatencyModel] = None,
+    ) -> "StreamingResolver":
+        """Resume a durable session from its checkpoint directory.
+
+        Loads the newest readable snapshot (if any) and replays the journal
+        events it has not seen, re-deriving crowd votes through the
+        deterministic per-pair oracle.  With ``verify`` (default) every
+        replayed event is checked against its journaled ``commit`` record —
+        vote-for-vote and digest-for-digest — so silent divergence raises
+        :class:`~repro.streaming.persistence.JournalCorruptionError`
+        instead of propagating.  The restored session is bit-identical to
+        one that processed the same events without stopping, and (with
+        ``resume_journal``) keeps journaling to the same directory.
+
+        ``config`` overrides the stored configuration (rarely needed — the
+        snapshot and the journal header both embed it).
+        """
+        directory = Path(path)
+        snapshot = persistence.load_latest_snapshot(directory)
+        journal = (
+            persistence.SessionJournal(directory)
+            if (directory / persistence.JOURNAL_FILENAME).exists()
+            else None
+        )
+        events = journal.events() if journal is not None else []
+        if snapshot is None and not events:
+            raise persistence.PersistenceError(
+                f"{directory} contains neither a snapshot nor a journal"
+            )
+
+        state: Optional[Dict[str, object]] = None
+        applied = 0
+        stored_config: Optional[Dict[str, object]] = None
+        cross_sources: Optional[Sequence[str]] = None
+        if snapshot is not None:
+            state, applied = snapshot
+            stored_config = state["config"]  # type: ignore[assignment]
+            cross_sources = state["cross_sources"]  # type: ignore[assignment]
+        elif events and events[0].type == "session":
+            stored_config = events[0].payload["config"]  # type: ignore[assignment]
+            cross_sources = events[0].payload["cross_sources"]  # type: ignore[assignment]
+        if config is None:
+            if stored_config is None:
+                raise persistence.PersistenceError(
+                    "no stored configuration found; pass config= explicitly"
+                )
+            config = WorkflowConfig(**stored_config)
+
+        resolver = cls(
+            config=replace(config, checkpoint_dir=None),
+            cross_sources=tuple(cross_sources) if cross_sources else None,  # type: ignore[arg-type]
+            platform=platform,
+            worker_pool=worker_pool,
+            pricing=pricing,
+            latency=latency,
+        )
+        if state is not None:
+            resolver.load_state_dict(state)
+        resolver._events_applied = applied
+
+        resolver._replaying = True
+        try:
+            for event in events:
+                if event.seq <= applied:
+                    continue
+                resolver._apply_journal_event(event, verify=verify)
+                resolver._events_applied = event.seq
+        finally:
+            resolver._replaying = False
+
+        if resume_journal:
+            resolver.config = replace(config, checkpoint_dir=str(directory))
+            resolver._journal = journal or persistence.SessionJournal(
+                directory, start_seq=applied + 1
+            )
+        else:
+            resolver.config = replace(config, checkpoint_dir=None)
+        return resolver
+
+    def _apply_journal_event(self, event: "persistence.JournalEvent", verify: bool) -> None:
+        """Replay one journal event against the current state."""
+        payload = event.payload
+        if event.type == "session":
+            return
+        if event.type == "truth":
+            self._apply_truth([tuple(pair) for pair in payload["pairs"]])
+            return
+        if event.type == "batch":
+            records = [persistence.decode_record(entry) for entry in payload["records"]]
+            truth = payload.get("truth")
+            self._apply_batch(
+                records, [tuple(pair) for pair in truth] if truth is not None else None
+            )
+            return
+        if event.type == "retract":
+            self._apply_retract(payload["record_id"])
+            return
+        if event.type == "update":
+            self._apply_update(persistence.decode_record(payload["record"]))
+            return
+        if event.type == "flush":
+            self._apply_flush()
+            return
+        if event.type == "commit":
+            if verify:
+                recorded = {
+                    (entry[0], entry[1]): persistence.decode_votes(entry[2])
+                    for entry in payload["votes"]
+                }
+                if recorded != self._last_fresh_votes:
+                    raise persistence.JournalCorruptionError(
+                        f"votes replayed for event {event.seq} differ from the journal"
+                    )
+                if payload["digest"] != self.state_digest():
+                    raise persistence.JournalCorruptionError(
+                        f"state digest after event {event.seq} differs from the journal"
+                    )
+            return
+        raise persistence.JournalCorruptionError(
+            f"unknown journal event type {event.type!r} at sequence {event.seq}"
+        )
+
+    # -------------------------------------------------------- serialization
+    def state_dict(self) -> Dict[str, object]:
+        """Complete serializable session state.
+
+        Everything a fresh process needs to continue bit-identically: the
+        records and ground truth, the join index (vocabulary + CSR arrays),
+        the union-find forest, the provenance ledger, the candidate pairs
+        with their likelihoods, the vote ledger and posterior cache, and
+        the accumulated crowd workload counters.
+        """
+        # Containers are shallow copies of the live state (elements are
+        # immutable tuples/records), so snapshot construction is O(state)
+        # with no per-element re-encoding — the save+restore round trip is
+        # what the checkpoint benchmark gates against a cold re-resolve.
+        return {
+            "version": persistence.FORMAT_VERSION,
+            "config": self._config_payload(),
+            "cross_sources": list(self.cross_sources) if self.cross_sources else None,
+            "records": list(self.store),
+            "truth": set(self._truth),
+            "join": self.join.state_dict(),
+            "components": self.components.state_dict(),
+            "provenance": self.provenance.state_dict(),
+            "candidates": [
+                (pair.id_a, pair.id_b, pair.likelihood) for pair in self.candidates
+            ],
+            "votes": {key: list(votes) for key, votes in self._votes.items()},
+            "vote_rounds": dict(self._vote_rounds),
+            "pending_votes": dict(self._pending_votes),
+            "posteriors": dict(self._posteriors),
+            "covered": set(self._covered),
+            "hit_count": self._hit_count,
+            "cost": self._cost,
+            "assignment_seconds": list(self._assignment_seconds),
+            "pairs_per_hit_seen": self._pairs_per_hit_seen,
+            "generator_name": self._generator_name,
+            "batch_index": self._batch_index,
+            "last_delta": self._last_delta.as_dict(),
+        }
+
+    def load_state_dict(self, state: Dict[str, object]) -> None:
+        """Replace the session state with :meth:`state_dict` output."""
+        if state.get("version") != persistence.FORMAT_VERSION:
+            raise persistence.PersistenceError(
+                f"unsupported session state version {state.get('version')!r}"
+            )
+        self.store = RecordStore.from_records(state["records"], name="stream")  # type: ignore[arg-type]
+        self._truth = set(state["truth"])  # type: ignore[arg-type]
+        self.join = IncrementalSimJoin.from_state_dict(state["join"])  # type: ignore[arg-type]
+        self.components = IncrementalUnionFind.from_state_dict(state["components"])  # type: ignore[arg-type]
+        self.provenance = ProvenanceLedger.from_state_dict(state["provenance"])  # type: ignore[arg-type]
+        self.candidates = PairSet(
+            RecordPair(id_a, id_b, likelihood=likelihood)
+            for id_a, id_b, likelihood in state["candidates"]  # type: ignore[union-attr]
+        )
+        self._votes = {key: list(votes) for key, votes in state["votes"].items()}  # type: ignore[union-attr]
+        self._vote_rounds = dict(state["vote_rounds"])  # type: ignore[arg-type]
+        self._pending_votes = dict(state["pending_votes"])  # type: ignore[arg-type]
+        self._posteriors = dict(state["posteriors"])  # type: ignore[arg-type]
+        self._covered = set(state["covered"])  # type: ignore[arg-type]
+        self._hit_count = state["hit_count"]  # type: ignore[assignment]
+        self._cost = state["cost"]  # type: ignore[assignment]
+        self._assignment_seconds = list(state["assignment_seconds"])  # type: ignore[arg-type]
+        self._pairs_per_hit_seen = state["pairs_per_hit_seen"]  # type: ignore[assignment]
+        self._generator_name = state["generator_name"]  # type: ignore[assignment]
+        self._batch_index = state["batch_index"]  # type: ignore[assignment]
+        self._last_delta = StreamingDelta(**state["last_delta"])  # type: ignore[arg-type]
+        self._last_fresh_votes = {}
+
+    # ------------------------------------------------------------ internals
     def _crowdsource_dirty(self, dirty_pairs: Set[PairKey], delta: StreamingDelta) -> None:
         """Regenerate HITs for the dirty pairs that need votes; collect them.
 
@@ -257,6 +754,15 @@ class StreamingResolver:
             vote_rounds=rounds,
         )
         self._covered.update(batch_hits.covered_pairs())
+        # Pair provenance: which HITs of which batch covered each pair.
+        for hit in batch_hits.hits:
+            hit_id = f"b{self._batch_index}:{hit.hit_id}"
+            if batch_hits.hit_type == "pair":
+                covered_here = hit.checkable_pairs() & to_vote
+            else:
+                covered_here = hit.checkable_pairs(to_vote)
+            for key in sorted(covered_here):
+                self.provenance.record_coverage(key, hit_id)
 
         fresh: Dict[PairKey, List[Vote]] = {}
         for vote in crowd_run.votes:
@@ -265,6 +771,10 @@ class StreamingResolver:
             self._votes[key] = votes
             self._vote_rounds[key] = self._vote_rounds.get(key, 0) + 1
             self._pending_votes[key] = self._pending_votes.get(key, 0) + len(votes)
+            self.provenance.record_votes(
+                key, self._batch_index, rounds.get(key, 0), len(votes)
+            )
+        self._last_fresh_votes = fresh
 
         self._hit_count += crowd_run.hit_count
         self._cost += crowd_run.cost
@@ -277,8 +787,18 @@ class StreamingResolver:
         delta.regenerated_hits = crowd_run.hit_count
         delta.crowdsourced_pairs = len(fresh)
 
-    def _aggregate(self, dirty_pairs: Set[PairKey], delta: StreamingDelta) -> None:
-        """Fold fresh votes into the posterior cache."""
+    def _aggregate(
+        self,
+        dirty_pairs: Set[PairKey],
+        delta: StreamingDelta,
+        force: bool = False,
+    ) -> None:
+        """Fold fresh votes into the posterior cache.
+
+        ``force`` bypasses the bounded-staleness filter — used by
+        retraction, where the dirty region's cached posteriors are invalid
+        rather than merely stale.
+        """
         aggregator = build_aggregator(self.config)
         if self.config.streaming_aggregation_scope == "global":
             votes = self._ledger_votes(self._votes.keys())
@@ -291,7 +811,8 @@ class StreamingResolver:
         delta.preserved_posterior_pairs = sum(
             1 for key in self._posteriors if key not in dirty_pairs
         )
-        voted_dirty = self._drop_stale_components(voted_dirty, delta)
+        if not force:
+            voted_dirty = self._drop_stale_components(voted_dirty, delta)
         if not voted_dirty:
             return
         votes = self._ledger_votes(voted_dirty)
@@ -342,34 +863,6 @@ class StreamingResolver:
         for key in sorted(set(keys)):
             votes.extend(self._votes.get(key, ()))
         return votes
-
-    def flush(self) -> ResolutionResult:
-        """Fold every staleness-deferred component into the posterior cache.
-
-        Bounded-staleness aggregation (``config.staleness_epsilon``) can
-        leave components whose pending vote gain never crossed the bound;
-        ``flush`` re-aggregates each such component in full (the same unit
-        ``_aggregate`` uses) and returns the settled snapshot.  A no-op
-        when nothing is pending — e.g. with the default epsilon of 0.
-        """
-        pending = [
-            key
-            for key, gained in self._pending_votes.items()
-            if gained > 0 and key in self._votes
-        ]
-        if pending:
-            roots = {self.components.find(key[0]) for key in pending}
-            keys: Set[PairKey] = set()
-            for root in roots:
-                for member in self.components.members(root):
-                    keys.update(self._pairs_of_record.get(member, ()))
-            voted = [key for key in sorted(keys) if key in self._votes]
-            aggregator = build_aggregator(self.config)
-            for key, posterior in aggregator.aggregate(self._ledger_votes(voted)).items():
-                self._posteriors[key] = posterior
-            for key in voted:
-                self._pending_votes.pop(key, None)
-        return self.snapshot()
 
     def snapshot(self) -> ResolutionResult:
         """The current resolution state as a delta-aware result object."""

@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import re
+
 import pytest
 
 from repro.cli import build_parser, load_dataset, main
@@ -12,6 +14,11 @@ class TestLoadDataset:
         assert dataset.name == "product"
         dataset = load_dataset("product-dup", scale=0.05, seed=1)
         assert dataset.name == "product+dup"
+
+    def test_paper_example_dataset(self):
+        dataset = load_dataset("paper-example", scale=1.0, seed=0)
+        assert dataset.record_count == 9
+        assert dataset.match_count == 4
 
     def test_unknown_dataset(self):
         with pytest.raises(ValueError):
@@ -103,5 +110,70 @@ class TestCommands:
         assert args.batch_size == 32
         assert args.recrowd_policy == "dirty"
         assert args.aggregation_scope == "global"
+        assert args.checkpoint_dir is None
+        assert args.resume is False
         with pytest.raises(SystemExit):
             build_parser().parse_args(["resolve-stream", "--recrowd-policy", "sometimes"])
+
+    def test_parses_checkpoint_options(self):
+        args = build_parser().parse_args(
+            ["resolve-stream", "--checkpoint-dir", "/tmp/x", "--checkpoint-every",
+             "3", "--max-batches", "2", "--resume"]
+        )
+        assert args.checkpoint_dir == "/tmp/x"
+        assert args.checkpoint_every == 3
+        assert args.max_batches == 2
+        assert args.resume is True
+
+
+class TestCheckpointResume:
+    """The durable-session round trip, end to end through the CLI."""
+
+    STREAM_ARGS = ["resolve-stream", "--dataset", "paper-example",
+                   "--threshold", "0.3", "--batch-size", "3", "--seed", "2"]
+
+    @staticmethod
+    def _final_matches(output):
+        return int(re.search(r"matches found\s*:\s*(\d+)", output).group(1))
+
+    def test_checkpoint_then_resume_matches_uninterrupted_run(self, tmp_path, capsys):
+        checkpoint = str(tmp_path / "session")
+        # Uninterrupted reference run.
+        assert main(self.STREAM_ARGS) == 0
+        reference = capsys.readouterr().out
+        # Interrupted run: two batches, checkpoint, then resume the rest.
+        assert main(self.STREAM_ARGS + ["--checkpoint-dir", checkpoint,
+                                        "--max-batches", "2"]) == 0
+        first_half = capsys.readouterr().out
+        assert "resume" in first_half
+        assert main(self.STREAM_ARGS + ["--checkpoint-dir", checkpoint,
+                                        "--resume"]) == 0
+        second_half = capsys.readouterr().out
+        assert "resumed session" in second_half
+        # Identical final match set (and full tail summary).
+        assert self._final_matches(second_half) == self._final_matches(reference)
+        assert reference.splitlines()[-6:] == second_half.splitlines()[-6:]
+
+    def test_resume_requires_checkpoint_dir(self, capsys):
+        assert main(self.STREAM_ARGS + ["--resume"]) == 2
+        assert "requires --checkpoint-dir" in capsys.readouterr().err
+
+    def test_retraction_smoke_via_python_api(self):
+        """Retract a paper-example record mid-session; its matches vanish."""
+        from repro.core.config import WorkflowConfig
+        from repro.streaming import StreamingResolver
+
+        dataset = load_dataset("paper-example", scale=1.0, seed=0)
+        config = WorkflowConfig(
+            likelihood_threshold=0.3, vote_mode="per-pair", aggregation="majority"
+        )
+        resolver = StreamingResolver(config=config)
+        resolver.add_truth(dataset.ground_truth)
+        before = resolver.add_batch(list(dataset.store))
+        assert ("r1", "r2") in before.matches
+        after = resolver.retract("r1")
+        assert all("r1" not in key for key in after.matches)
+        assert after.delta.retracted_records == 1
+        assert after.delta.invalidated_pairs > 0
+        # Matches not involving r1 survive untouched.
+        assert ("r3", "r4") in after.matches
