@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import shutil
 import sys
 import tempfile
@@ -144,6 +145,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.json:
         payload = {
             "benchmark": "checkpoint",
+            "cpus": os.cpu_count(),
             "threshold": args.threshold,
             "batch_size": args.batch_size,
             "rows": [

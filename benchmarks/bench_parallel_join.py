@@ -32,6 +32,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 import time
 from typing import Dict, List, Optional
@@ -238,6 +239,8 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     if args.json:
         payload = {
+            "benchmark": "parallel_join",
+            "cpus": os.cpu_count(),
             "sizes": sizes,
             "workers": args.workers,
             "threshold": args.threshold,

@@ -20,6 +20,8 @@ missed speedup exits non-zero so perf regressions fail loudly.
 from __future__ import annotations
 
 import argparse
+import json
+import os
 import sys
 import time
 from typing import Dict, List, Optional, Tuple
@@ -119,6 +121,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--min-speedup", type=float, default=5.0,
         help="required vectorized-over-naive speedup at the largest size (full runs)",
     )
+    parser.add_argument("--json", type=str, default=None,
+                        help="write measured rows to this JSON file")
     args = parser.parse_args(argv)
 
     sizes = args.sizes or ([150, 300] if args.smoke else [500, 1000, 2000])
@@ -159,6 +163,18 @@ def main(argv: Optional[List[str]] = None) -> int:
         title=f"Similarity-join backend scaling — threshold {args.threshold}, "
               f"best of {repeats} run(s)",
     ))
+
+    if args.json:
+        payload = {
+            "benchmark": "simjoin_scaling",
+            "cpus": os.cpu_count(),
+            "threshold": args.threshold,
+            "repeats": repeats,
+            "rows": rows,
+        }
+        with open(args.json, "w") as handle:
+            json.dump(payload, handle, indent=2)
+        print(f"wrote {args.json}")
 
     if problems:
         for problem in problems:

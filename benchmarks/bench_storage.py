@@ -1,0 +1,323 @@
+"""SQLite-backed storage vs in-memory: page-in restore speed and peak RSS.
+
+Measures what the pluggable storage layer (:mod:`repro.storage`) buys:
+
+1. **Restore is a page-in, not a replay.**  A SQLite-backed session keeps
+   its committed state in the store, so ``StreamingResolver.restore()``
+   loads the ledger/join substrate back in and replays at most the short
+   journal tail beyond the last event boundary.  The benchmark builds a
+   durable session (that build *is* the cold-resolve cost a crash would
+   force without the store), closes it, restores it, asserts the restored
+   session is **bit-identical**, and reports the speedup.
+
+2. **Records and token sets live on disk.**  In offload mode the session
+   holds neither record bodies nor per-record token sets in RAM.  The
+   benchmark streams the same store through a memory-backed and a
+   SQLite-backed session in *separate subprocesses* (``ru_maxrss`` is a
+   per-process high-water mark, so the scenarios must not share one) and
+   compares the peaks.
+
+Standalone script (not a pytest-benchmark module) so CI can gate on it::
+
+    PYTHONPATH=src python benchmarks/bench_storage.py            # full gates
+    PYTHONPATH=src python benchmarks/bench_storage.py --smoke    # <30 s CI run
+
+The full run gates both acceptance criteria: restore-from-SQLite must beat
+the cold re-resolve by at least ``--min-speedup`` (default 5x) at the
+largest size, and the SQLite-backed peak RSS must stay below the in-memory
+baseline on the ``--rss-size`` stream (default 50,000 records).  ``--json``
+writes the measured rows, which CI commits as ``BENCH_storage.json`` so the
+perf trajectory is visible in-repo.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import resource
+import shutil
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+from typing import List, Optional
+
+from repro.core.config import WorkflowConfig
+from repro.datasets.restaurant import RestaurantGenerator
+from repro.evaluation.reporting import format_table
+from repro.streaming import StreamingResolver
+
+
+def build_session(
+    record_count: int,
+    threshold: float,
+    seed: int,
+    batch_size: int,
+    backend: str,
+    directory: Optional[Path],
+) -> StreamingResolver:
+    dataset = RestaurantGenerator(
+        record_count=record_count,
+        duplicate_pairs=max(1, record_count // 8),
+        seed=seed,
+    ).generate()
+    config = WorkflowConfig(
+        likelihood_threshold=threshold,
+        vote_mode="per-pair",
+        aggregation="majority",
+        seed=seed,
+        storage_backend=backend,
+        checkpoint_dir=str(directory) if directory is not None else None,
+        checkpoint_every_batches=0,
+    )
+    records = list(dataset.store)
+    resolver = StreamingResolver(config=config, cross_sources=dataset.cross_sources)
+    resolver.add_truth(dataset.ground_truth)
+    for start in range(0, len(records), batch_size):
+        resolver.add_batch(records[start : start + batch_size])
+    return resolver
+
+
+def run_restore_scenario(
+    record_count: int, threshold: float, seed: int, batch_size: int
+) -> dict:
+    """Time one cold-resolve vs page-in-restore scenario."""
+    directory = Path(tempfile.mkdtemp(prefix="bench-storage-"))
+    try:
+        start_time = time.perf_counter()
+        resolver = build_session(
+            record_count, threshold, seed, batch_size, "sqlite", directory
+        )
+        cold_seconds = time.perf_counter() - start_time
+        digest = resolver.state_digest()
+        matches = set(resolver.snapshot().matches)
+        store_bytes = Path(resolver.storage.path).stat().st_size
+        resolver.storage.close()
+
+        start_time = time.perf_counter()
+        restored = StreamingResolver.restore(directory, resume_journal=False)
+        restore_seconds = time.perf_counter() - start_time
+        identical = (
+            restored.state_digest() == digest
+            and set(restored.snapshot().matches) == matches
+        )
+        restored.storage.close()
+    finally:
+        shutil.rmtree(directory, ignore_errors=True)
+
+    speedup = cold_seconds / restore_seconds if restore_seconds > 0 else float("inf")
+    return {
+        "records": record_count,
+        "pairs": restored.candidate_count,
+        "cold_resolve_s": f"{cold_seconds:.3f}",
+        "restore_s": f"{restore_seconds:.4f}",
+        "store_mb": f"{store_bytes / 1e6:.2f}",
+        "speedup": f"{speedup:.1f}x",
+        "bit_identical": identical,
+        "_speedup": speedup,
+        "_identical": identical,
+    }
+
+
+def run_rss_child(
+    backend: str, record_count: int, threshold: float, seed: int, batch_size: int
+) -> int:
+    """Child-process entry point: stream the store, print peak RSS as JSON."""
+    directory = (
+        Path(tempfile.mkdtemp(prefix="bench-storage-rss-"))
+        if backend == "sqlite"
+        else None
+    )
+    try:
+        resolver = build_session(
+            record_count, threshold, seed, batch_size, backend, directory
+        )
+        peak_kb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+        print(
+            json.dumps(
+                {
+                    "backend": backend,
+                    "records": len(resolver.store),
+                    "pairs": resolver.candidate_count,
+                    "matches": len(resolver.snapshot().matches),
+                    "peak_rss_kb": peak_kb,
+                }
+            )
+        )
+    finally:
+        if directory is not None:
+            shutil.rmtree(directory, ignore_errors=True)
+    return 0
+
+
+def run_rss_scenarios(
+    record_count: int, threshold: float, seed: int, batch_size: int
+) -> List[dict]:
+    """Measure peak RSS of both backends, one subprocess per scenario."""
+    rows = []
+    for backend in ("memory", "sqlite"):
+        result = subprocess.run(
+            [
+                sys.executable,
+                __file__,
+                "--_rss-child",
+                backend,
+                "--rss-size",
+                str(record_count),
+                "--threshold",
+                str(threshold),
+                "--seed",
+                str(seed),
+                "--batch-size",
+                str(batch_size),
+            ],
+            capture_output=True,
+            text=True,
+        )
+        if result.returncode != 0:
+            raise RuntimeError(
+                f"RSS child for backend {backend!r} failed:\n{result.stderr}"
+            )
+        payload = json.loads(result.stdout.strip().splitlines()[-1])
+        rows.append(
+            {
+                "backend": backend,
+                "records": payload["records"],
+                "pairs": payload["pairs"],
+                "matches": payload["matches"],
+                "peak_rss_mb": f"{payload['peak_rss_kb'] / 1024:.1f}",
+                "_peak_kb": payload["peak_rss_kb"],
+                "_matches": payload["matches"],
+            }
+        )
+    return rows
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="small store and no gates (the <30 s CI run)",
+    )
+    parser.add_argument(
+        "--sizes", type=int, nargs="+", default=None,
+        help="restore-scenario store sizes (default: 2000 10000; smoke: 400)",
+    )
+    parser.add_argument(
+        "--rss-size", type=int, default=None,
+        help="record count of the peak-RSS stream (default: 50000; smoke: 2000)",
+    )
+    parser.add_argument("--threshold", type=float, default=0.35, help="likelihood threshold")
+    parser.add_argument("--seed", type=int, default=7, help="dataset / crowd seed")
+    parser.add_argument(
+        "--batch-size", type=int, default=250,
+        help="arrival batch size used to stream in the records",
+    )
+    parser.add_argument(
+        "--min-speedup", type=float, default=5.0,
+        help="required restore-over-cold-resolve speedup at the largest size",
+    )
+    parser.add_argument("--json", type=str, default=None,
+                        help="write measured rows to this JSON file")
+    parser.add_argument(
+        "--_rss-child", type=str, default=None, choices=("memory", "sqlite"),
+        help=argparse.SUPPRESS,
+    )
+    args = parser.parse_args(argv)
+
+    rss_size = args.rss_size if args.rss_size is not None else (
+        2000 if args.smoke else 50_000
+    )
+    if getattr(args, "_rss_child"):
+        return run_rss_child(
+            getattr(args, "_rss_child"), rss_size, args.threshold, args.seed,
+            args.batch_size,
+        )
+
+    sizes = args.sizes or ([400] if args.smoke else [2000, 10000])
+    restore_rows = [
+        run_restore_scenario(size, args.threshold, args.seed, args.batch_size)
+        for size in sizes
+    ]
+    print(format_table(
+        restore_rows,
+        columns=[
+            "records", "pairs", "cold_resolve_s", "restore_s", "store_mb",
+            "speedup", "bit_identical",
+        ],
+        title=f"SQLite page-in restore vs cold re-resolve — "
+              f"threshold {args.threshold}, batches of {args.batch_size}",
+    ))
+
+    rss_rows = run_rss_scenarios(rss_size, args.threshold, args.seed, args.batch_size)
+    print(format_table(
+        rss_rows,
+        columns=["backend", "records", "pairs", "matches", "peak_rss_mb"],
+        title=f"Peak RSS streaming {rss_size} records — memory vs sqlite backend",
+    ))
+
+    if args.json:
+        payload = {
+            "benchmark": "storage",
+            "cpus": os.cpu_count(),
+            "threshold": args.threshold,
+            "batch_size": args.batch_size,
+            "restore": [
+                {key: value for key, value in row.items() if not key.startswith("_")}
+                for row in restore_rows
+            ],
+            "rss": [
+                {key: value for key, value in row.items() if not key.startswith("_")}
+                for row in rss_rows
+            ],
+        }
+        with open(args.json, "w") as handle:
+            json.dump(payload, handle, indent=2)
+        print(f"wrote {args.json}")
+
+    failures = 0
+    for row in restore_rows:
+        if not row["_identical"]:
+            print(
+                f"MISMATCH: restored session differs from the original at "
+                f"{row['records']} records",
+                file=sys.stderr,
+            )
+            failures += 1
+    memory_row, sqlite_row = rss_rows
+    if sqlite_row["_matches"] != memory_row["_matches"]:
+        print(
+            "MISMATCH: sqlite-backed stream resolved a different match count "
+            f"({sqlite_row['_matches']} vs {memory_row['_matches']})",
+            file=sys.stderr,
+        )
+        failures += 1
+    if not args.smoke:
+        largest = restore_rows[-1]
+        if largest["_speedup"] < args.min_speedup:
+            print(
+                f"FAIL: restore speedup {largest['_speedup']:.1f}x at "
+                f"{largest['records']} records is below the required "
+                f"{args.min_speedup:.1f}x",
+                file=sys.stderr,
+            )
+            failures += 1
+        if sqlite_row["_peak_kb"] >= memory_row["_peak_kb"]:
+            print(
+                f"FAIL: sqlite-backed peak RSS {sqlite_row['peak_rss_mb']} MB is "
+                f"not below the in-memory baseline {memory_row['peak_rss_mb']} MB "
+                f"at {rss_size} records",
+                file=sys.stderr,
+            )
+            failures += 1
+    if failures:
+        return 1
+    print("restored sessions were bit-identical; gates passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

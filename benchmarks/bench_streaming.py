@@ -23,6 +23,8 @@ than the full re-resolve at the largest store size.
 from __future__ import annotations
 
 import argparse
+import json
+import os
 import sys
 import time
 from typing import List, Optional
@@ -114,6 +116,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--min-speedup", type=float, default=5.0,
         help="required incremental-over-full speedup at the largest size (full runs)",
     )
+    parser.add_argument("--json", type=str, default=None,
+                        help="write measured rows to this JSON file")
     args = parser.parse_args(argv)
 
     sizes = args.sizes or ([400] if args.smoke else [1000, 2000])
@@ -138,6 +142,21 @@ def main(argv: Optional[List[str]] = None) -> int:
         title=f"Streaming incremental update vs full re-resolve — "
               f"threshold {args.threshold}, +{append_count} records",
     ))
+
+    if args.json:
+        payload = {
+            "benchmark": "streaming",
+            "cpus": os.cpu_count(),
+            "threshold": args.threshold,
+            "append": append_count,
+            "rows": [
+                {key: value for key, value in row.items() if not key.startswith("_")}
+                for row in rows
+            ],
+        }
+        with open(args.json, "w") as handle:
+            json.dump(payload, handle, indent=2)
+        print(f"wrote {args.json}")
 
     failures = 0
     for row in rows:

@@ -15,6 +15,13 @@ Three subcommands expose the most common workflows without writing Python:
   restores it and continues with the records it has not seen yet, and
   ``--max-batches`` stops early (so a later ``--resume`` picks up the
   rest — the round trip the persistence tests exercise).
+  ``--storage-backend sqlite`` keeps the session state in a WAL-mode
+  SQLite file (``--storage-path``, defaulting to ``store.sqlite`` inside
+  the checkpoint directory) so restores page committed state back in
+  instead of replaying the journal.  After the replay,
+  ``--retract ID`` withdraws records (repeatable) and ``--update-file``
+  applies revised records from a JSON file, printing the provenance-bounded
+  blast radius of each.
 
 Examples::
 
@@ -28,17 +35,23 @@ Examples::
         --checkpoint-dir /tmp/er-session --max-batches 2
     python -m repro.cli resolve-stream --dataset paper-example --batch-size 3 \
         --checkpoint-dir /tmp/er-session --resume
+    python -m repro.cli resolve-stream --dataset paper-example --batch-size 3 \
+        --storage-backend sqlite --checkpoint-dir /tmp/er-session
+    python -m repro.cli resolve-stream --dataset paper-example --batch-size 3 \
+        --retract r3 --update-file revised.json
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 from typing import List, Optional
 
 from repro.core.config import WorkflowConfig
 from repro.core.workflow import HybridWorkflow
 from repro.datasets.base import Dataset
+from repro.records.record import Record, RecordError
 from repro.datasets.paper_example import paper_example_matches, paper_example_store
 from repro.datasets.product import load_product
 from repro.datasets.product_dup import load_product_dup
@@ -162,6 +175,44 @@ def _cmd_resolve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _load_update_records(path: str) -> List[Record]:
+    """Parse revised records from a JSON file (array or one object per line).
+
+    Each object needs a ``record_id``; attributes come from an
+    ``attributes`` mapping when present, otherwise from the remaining
+    top-level keys (the :meth:`repro.records.record.Record.as_dict` shape).
+    ``source`` is optional in both forms.
+    """
+    import json
+
+    text = Path(path).read_text(encoding="utf-8").strip()
+    if not text:
+        return []
+    if text.startswith("["):
+        payloads = json.loads(text)
+    else:
+        payloads = [json.loads(line) for line in text.splitlines() if line.strip()]
+    records = []
+    for payload in payloads:
+        record_id = payload.get("record_id")
+        if not record_id:
+            raise RecordError(f"update entry without a record_id: {payload!r}")
+        if "attributes" in payload:
+            attributes = payload["attributes"]
+            source = payload.get("source")
+        else:
+            attributes = {
+                key: value
+                for key, value in payload.items()
+                if key not in ("record_id", "source")
+            }
+            source = payload.get("source")
+        records.append(
+            Record(record_id=record_id, attributes=attributes, source=source)
+        )
+    return records
+
+
 def _cmd_resolve_stream(args: argparse.Namespace) -> int:
     dataset = load_dataset(args.dataset, args.scale, args.seed)
     if args.resume:
@@ -211,6 +262,8 @@ def _cmd_resolve_stream(args: argparse.Namespace) -> int:
             streaming_aggregation_scope=args.aggregation_scope,
             staleness_epsilon=args.staleness_epsilon,
             checkpoint_dir=args.checkpoint_dir,
+            storage_backend=args.storage_backend,
+            storage_path=args.storage_path,
             **(
                 {"checkpoint_every_batches": args.checkpoint_every}
                 if args.checkpoint_every is not None
@@ -250,6 +303,36 @@ def _cmd_resolve_stream(args: argparse.Namespace) -> int:
             print(f"stopped after {batches_done} batches; {remaining} records pending "
                   f"(no --checkpoint-dir, progress is not durable)")
         return 0
+    # Post-ingest mutations: retractions and record revisions, each
+    # re-resolving only its provenance-bounded blast radius.
+    for record_id in args.retract or []:
+        try:
+            result = resolver.retract(record_id)
+        except RecordError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+        delta = result.delta
+        print(f"  retract {record_id}: -{delta.invalidated_pairs} pairs invalidated | "
+              f"{delta.dirty_components} dirty / {delta.clean_components} clean components | "
+              f"matches now: {len(result.matches)}")
+    if args.update_file:
+        try:
+            revised = _load_update_records(args.update_file)
+        except (OSError, ValueError) as error:
+            print(f"error: cannot read --update-file: {error}", file=sys.stderr)
+            return 2
+        for record in revised:
+            try:
+                result = resolver.update(record)
+            except RecordError as error:
+                print(f"error: {error}", file=sys.stderr)
+                return 2
+            delta = result.delta
+            print(f"  update {record.record_id}: -{delta.invalidated_pairs} pairs invalidated, "
+                  f"+{delta.new_candidate_pairs} rejoined | "
+                  f"{delta.regenerated_hits} HITs regenerated, "
+                  f"{delta.crowdsourced_pairs} pairs crowdsourced | "
+                  f"matches now: {len(result.matches)}")
     # Settle any components deferred by bounded-staleness aggregation
     # (no-op at the default epsilon of 0).
     result = resolver.flush()
@@ -319,6 +402,21 @@ def build_parser() -> argparse.ArgumentParser:
     stream.add_argument("--checkpoint-dir", type=str, default=None,
                         help="make the session durable: write-ahead journal + "
                              "periodic snapshots in this directory")
+    stream.add_argument("--storage-backend", choices=("memory", "sqlite"),
+                        default="memory",
+                        help="where session state lives: in process memory or "
+                             "in a WAL-mode SQLite store (restore becomes a "
+                             "page-in; results are bit-identical)")
+    stream.add_argument("--storage-path", type=str, default=None,
+                        help="SQLite store file for --storage-backend sqlite "
+                             "(default: store.sqlite inside --checkpoint-dir)")
+    stream.add_argument("--retract", action="append", metavar="ID", default=None,
+                        help="after the replay, withdraw this record id and "
+                             "re-resolve only its blast radius (repeatable)")
+    stream.add_argument("--update-file", type=str, default=None,
+                        help="after the replay, apply revised records from "
+                             "this JSON file (array or one object per line, "
+                             "each with a record_id)")
     stream.add_argument("--checkpoint-every", type=int, default=None,
                         help="snapshot cadence in applied events (0 = journal "
                              "only; default: the config default of 16)")

@@ -68,6 +68,22 @@ class WorkflowConfig:
       how much journal a restore has to replay.  0 disables automatic
       snapshots (journal-only durability; snapshots still happen on
       explicit ``save()`` calls).
+    * ``storage_backend`` — where a streaming session keeps its state:
+      ``"memory"`` (default; the pre-existing in-process structures) or
+      ``"sqlite"`` (a WAL-mode SQLite file holding records, the join
+      substrate, the vote ledger and provenance; restore becomes a
+      page-in of committed state plus a short journal-tail replay, and
+      records stay out of process memory).  Results are bit-identical
+      across backends.
+    * ``storage_path`` — the SQLite store file for
+      ``storage_backend="sqlite"``.  ``None`` (default) places
+      ``store.sqlite`` inside ``checkpoint_dir`` when that is set.
+    * ``journal_segment_events`` — journal lifecycle: the write-ahead
+      journal's active file is rotated into a closed, immutable segment
+      once it holds this many events, and closed segments fully covered
+      by a snapshot (or by the SQLite store) are archived on ``save()``
+      instead of being replayed forever.  0 disables rotation (one
+      unbounded journal file, the pre-segmentation behavior).
     * ``seed`` — seed for the crowd simulation.
     """
 
@@ -90,6 +106,9 @@ class WorkflowConfig:
     staleness_epsilon: int = 0
     checkpoint_dir: Optional[str] = None
     checkpoint_every_batches: int = 16
+    storage_backend: str = "memory"
+    storage_path: Optional[str] = None
+    journal_segment_events: int = 512
     decision_threshold: float = 0.5
     seed: int = 0
 
@@ -117,6 +136,12 @@ class WorkflowConfig:
         if self.checkpoint_every_batches < 0:
             raise ValueError(
                 "checkpoint_every_batches must be non-negative (0 = only on save())"
+            )
+        if self.storage_backend not in ("memory", "sqlite"):
+            raise ValueError("storage_backend must be 'memory' or 'sqlite'")
+        if self.journal_segment_events < 0:
+            raise ValueError(
+                "journal_segment_events must be non-negative (0 = no rotation)"
             )
         if self.vote_mode not in ("sequential", "per-pair"):
             raise ValueError("vote_mode must be 'sequential' or 'per-pair'")

@@ -5,6 +5,13 @@ and a per-HIT capacity ``k`` pairs, produce ``ceil(|P| / k)`` HITs.  Pairs
 are batched in descending likelihood order by default so that the most
 promising verifications are published first (useful when a budget cuts the
 run short), with an option to keep the original insertion order.
+
+The ranking runs on the columnar substrate: the pair set materializes as a
+key list plus a dense likelihood array (:meth:`~repro.records.pairs.PairSet.to_arrays`)
+and one stable vectorized argsort
+(:func:`~repro.simjoin.columnar.argsort_descending`) replaces the
+per-object comparison sort — same order, array-speed, which matters when a
+large dirty region is re-batched in one streaming event.
 """
 
 from __future__ import annotations
@@ -14,6 +21,7 @@ from typing import List
 
 from repro.hit.base import HITBatch, PairBasedHIT
 from repro.records.pairs import PairSet
+from repro.simjoin.columnar import argsort_descending
 
 
 class PairHITGenerator:
@@ -35,23 +43,27 @@ class PairHITGenerator:
 
     def generate(self, pairs: PairSet) -> HITBatch:
         """Generate the pair-based HIT batch for the given candidate pairs."""
+        keys, likelihoods = pairs.to_arrays()
         if self.order_by_likelihood:
-            ordered = pairs.sorted_by_likelihood()
+            # Stable descending argsort == the old per-object sort: missing
+            # likelihoods were already densified to -1.0, and ties keep
+            # insertion order either way.
+            ordered = [keys[index] for index in argsort_descending(likelihoods)]
         else:
-            ordered = list(pairs)
+            ordered = keys
         hits: List[PairBasedHIT] = []
         for start in range(0, len(ordered), self.pairs_per_hit):
             chunk = ordered[start : start + self.pairs_per_hit]
             hits.append(
                 PairBasedHIT(
                     hit_id=f"pair-hit-{len(hits) + 1}",
-                    pairs=tuple(pair.key for pair in chunk),
+                    pairs=tuple(chunk),
                 )
             )
         return HITBatch(
             hit_type="pair",
             hits=list(hits),
-            candidate_pairs=set(pairs.keys()),
+            candidate_pairs=set(keys),
             generator_name=self.name,
             cluster_size=self.pairs_per_hit,
         )

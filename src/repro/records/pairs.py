@@ -11,6 +11,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Set, Tuple
 
+import numpy as np
+
 
 def canonical_pair(id_a: str, id_b: str) -> Tuple[str, str]:
     """Return the canonical (sorted) ordering of two record ids.
@@ -143,6 +145,25 @@ class PairSet:
             for pair in self._pairs.values()
             if pair.likelihood is not None and pair.likelihood >= threshold
         )
+
+    def to_arrays(self) -> Tuple[List[Tuple[str, str]], np.ndarray]:
+        """Columnar view: pair keys plus a dense float64 likelihood array.
+
+        Keys come back in insertion order; a pair without a likelihood
+        contributes ``-1.0``, so a stable descending argsort over the array
+        ranks scored pairs first and unscored pairs last — exactly the
+        ordering contract of :meth:`sorted_by_likelihood`.
+        """
+        keys = list(self._pairs.keys())
+        values = np.fromiter(
+            (
+                pair.likelihood if pair.likelihood is not None else -1.0
+                for pair in self._pairs.values()
+            ),
+            dtype=np.float64,
+            count=len(self._pairs),
+        )
+        return keys, values
 
     def sorted_by_likelihood(self, descending: bool = True) -> List[RecordPair]:
         """Pairs sorted by likelihood (missing likelihood sorts last)."""

@@ -12,7 +12,7 @@ de-duplicates (e.g. Table 1 in the paper).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
 
 
@@ -97,18 +97,71 @@ class Record:
         return payload
 
 
-@dataclass
+class _InMemoryRecordTable:
+    """The default record table: an ordered list plus an id index.
+
+    This is the storage every unbacked :class:`RecordStore` uses — the
+    exact structures the store always kept, now behind the same small
+    table interface a :class:`repro.storage.base.Store` implements, so
+    record reads and writes take one code path whether the records live
+    in process memory or in a SQLite file.
+    """
+
+    def __init__(self) -> None:
+        self._records: List[Record] = []
+        self._by_id: Dict[str, Record] = {}
+
+    def add_record(self, record: Record) -> None:
+        self._records.append(record)
+        self._by_id[record.record_id] = record
+
+    def remove_record(self, record_id: str) -> Optional[Record]:
+        record = self._by_id.pop(record_id, None)
+        if record is not None:
+            self._records.remove(record)
+        return record
+
+    def get_record(self, record_id: str) -> Optional[Record]:
+        return self._by_id.get(record_id)
+
+    def has_record(self, record_id: object) -> bool:
+        return record_id in self._by_id
+
+    def record_count(self) -> int:
+        return len(self._records)
+
+    def iter_records(self) -> Iterator[Record]:
+        return iter(self._records)
+
+    def record_ids(self) -> List[str]:
+        return [record.record_id for record in self._records]
+
+    def record_at(self, index: int) -> Record:
+        return self._records[index]
+
+
 class RecordStore:
     """An ordered, id-indexed collection of :class:`Record` objects.
 
     The store enforces id uniqueness and preserves insertion order, which
     makes dataset generation deterministic and keeps pair enumeration
     stable across runs.
+
+    Parameters
+    ----------
+    name:
+        Human-readable table name.
+    backing:
+        Optional storage backend implementing the record-table interface
+        (see :class:`repro.storage.base.Store`).  ``None`` (default) keeps
+        records in process memory; a persistent backing makes every read
+        and write go through its table instead, which is how a
+        SQLite-backed streaming session keeps records out of RAM.
     """
 
-    name: str = "records"
-    _records: List[Record] = field(default_factory=list)
-    _by_id: Dict[str, Record] = field(default_factory=dict)
+    def __init__(self, name: str = "records", backing=None) -> None:
+        self.name = name
+        self._table = backing if backing is not None else _InMemoryRecordTable()
 
     @classmethod
     def from_records(cls, records: Iterable[Record], name: str = "records") -> "RecordStore":
@@ -140,10 +193,9 @@ class RecordStore:
 
     def add(self, record: Record) -> None:
         """Add a record; raises :class:`RecordError` on duplicate ids."""
-        if record.record_id in self._by_id:
+        if self._table.has_record(record.record_id):
             raise RecordError(f"duplicate record id: {record.record_id!r}")
-        self._records.append(record)
-        self._by_id[record.record_id] = record
+        self._table.add_record(record)
 
     def remove(self, record_id: str) -> Record:
         """Remove and return the record with the given id.
@@ -152,41 +204,43 @@ class RecordStore:
         size (the insertion-order list is rebuilt without the record); used
         by streaming retraction, where removals are rare relative to scans.
         """
-        record = self._by_id.pop(record_id, None)
+        record = self._table.remove_record(record_id)
         if record is None:
             raise RecordError(f"unknown record id: {record_id!r}")
-        self._records.remove(record)
         return record
 
     def get(self, record_id: str) -> Record:
         """Return the record with the given id, raising ``KeyError`` if absent."""
-        return self._by_id[record_id]
+        record = self._table.get_record(record_id)
+        if record is None:
+            raise KeyError(record_id)
+        return record
 
     def __contains__(self, record_id: object) -> bool:
-        return record_id in self._by_id
+        return self._table.has_record(record_id)
 
     def __len__(self) -> int:
-        return len(self._records)
+        return self._table.record_count()
 
     def __iter__(self) -> Iterator[Record]:
-        return iter(self._records)
+        return self._table.iter_records()
 
     def __getitem__(self, index: int) -> Record:
-        return self._records[index]
+        return self._table.record_at(index)
 
     @property
     def record_ids(self) -> List[str]:
         """Record ids in insertion order."""
-        return [record.record_id for record in self._records]
+        return self._table.record_ids()
 
     def records_from_source(self, source: str) -> List[Record]:
         """Return all records tagged with the given source."""
-        return [record for record in self._records if record.source == source]
+        return [record for record in self if record.source == source]
 
     def sources(self) -> List[str]:
         """Return distinct source tags in first-seen order."""
         seen: List[str] = []
-        for record in self._records:
+        for record in self:
             if record.source is not None and record.source not in seen:
                 seen.append(record.source)
         return seen
@@ -194,7 +248,7 @@ class RecordStore:
     def attribute_names(self) -> List[str]:
         """Union of attribute names across all records, in first-seen order."""
         names: List[str] = []
-        for record in self._records:
+        for record in self:
             for name in record.attributes:
                 if name not in names:
                     names.append(name)
@@ -207,7 +261,7 @@ class RecordStore:
         approach would have to verify; the hybrid workflow exists precisely
         to avoid sending all of these to the crowd.
         """
-        records = self._records
+        records = list(self)
         for i in range(len(records)):
             for j in range(i + 1, len(records)):
                 yield records[i], records[j]
@@ -222,5 +276,5 @@ class RecordStore:
 
     def total_pair_count(self) -> int:
         """Number of unordered pairs n*(n-1)/2."""
-        n = len(self._records)
+        n = len(self)
         return n * (n - 1) // 2

@@ -27,7 +27,7 @@ reference the equivalence tests and the benchmark compare against.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -73,6 +73,7 @@ def columnar_csr_arrays(token_sets: Sequence[Iterable[str]]) -> CsrArrays:
 def extend_vocabulary_csr_arrays(
     token_sets: Sequence[Iterable[str]],
     vocabulary: Dict[str, int],
+    novel_out: Optional[List[str]] = None,
 ) -> Tuple[np.ndarray, np.ndarray]:
     """Columnar CSR build against a *persistent* vocabulary dict.
 
@@ -80,13 +81,18 @@ def extend_vocabulary_csr_arrays(
     sorted order of the batch's novel tokens.  Only one dict insertion per
     *distinct* novel batch token is paid — the per-occurrence work is a
     C-level set difference plus the ``map``/``fromiter`` fill.
-    Returns ``(indices, indptr)`` for the batch rows.
+    Returns ``(indices, indptr)`` for the batch rows.  When ``novel_out``
+    is given, the batch's novel tokens are appended to it in column order,
+    so a persistent store can mirror exactly the new vocabulary entries
+    without rescanning the whole dict.
     """
     flat, indptr = _flatten(token_sets)
     if not flat:
         return np.empty(0, dtype=np.int64), indptr
     for token in sorted(set(flat).difference(vocabulary)):
         vocabulary[token] = len(vocabulary)
+        if novel_out is not None:
+            novel_out.append(token)
     return _fill_indices(flat, vocabulary), indptr
 
 
@@ -129,6 +135,18 @@ def compact_csr_arrays(
     new_indptr = np.zeros(int(alive.sum()) + 1, dtype=np.int64)
     np.cumsum(lengths[alive], out=new_indptr[1:])
     return np.asarray(indices)[keep_occurrences], new_indptr
+
+
+def argsort_descending(values: Sequence[float]) -> np.ndarray:
+    """Stable descending argsort — the array twin of the pair-ranking sort.
+
+    ``np.argsort`` of the *negated* values with a stable kind gives exactly
+    the order of Python's ``sorted(..., key=lambda v: -v)`` (equal values
+    keep their original relative order), which is the rule every HIT
+    generator ranks candidate pairs by.  Works on any float sequence; the
+    caller encodes missing likelihoods as a sentinel below the valid range.
+    """
+    return np.argsort(-np.asarray(values, dtype=np.float64), kind="stable")
 
 
 def per_record_csr_arrays(token_sets: Sequence[Iterable[str]]) -> CsrArrays:

@@ -1,0 +1,63 @@
+"""Pluggable session storage (the ``repro.storage`` subsystem).
+
+A streaming entity-resolution session accumulates a lot of state —
+records, the token vocabulary and CSR index of the machine pass, candidate
+pairs, the vote ledger, posteriors and provenance.  This package puts all
+of it behind one :class:`~repro.storage.base.Store` interface with two
+backends:
+
+* :class:`MemoryStore` — the default; the pre-existing in-memory
+  structures behind the interface.  Bit-identical behavior, no
+  persistence of its own (snapshots and the journal handle durability).
+* :class:`SqliteStore` — a single WAL-mode SQLite file holding the whole
+  session, committed once per applied event.  Restoring a session becomes
+  a page-in of the stored tables plus a replay of only the journal events
+  newer than ``meta.events_applied``, and records plus token sets stay
+  out of process memory while the session runs.
+
+Select a backend with ``WorkflowConfig.storage_backend`` /
+``storage_path`` (CLI: ``--storage-backend`` / ``--storage-path``), or
+build one directly with :func:`open_store`.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional
+
+from repro.storage.base import PairLedger, StorageError, Store
+from repro.storage.memory import MemoryStore
+from repro.storage.sqlite import STORE_FILENAME, SqliteStore
+
+#: Backend names accepted by ``WorkflowConfig.storage_backend``.
+BACKENDS = ("memory", "sqlite")
+
+
+def open_store(backend: str, path: Optional[os.PathLike] = None) -> Store:
+    """Open a storage backend by name.
+
+    ``path`` is required (and only meaningful) for the ``"sqlite"``
+    backend: the store file to create or reopen.
+    """
+    if backend == "memory":
+        return MemoryStore()
+    if backend == "sqlite":
+        if path is None:
+            raise StorageError(
+                "the sqlite backend needs a store path "
+                "(set storage_path or checkpoint_dir)"
+            )
+        return SqliteStore(path)
+    raise StorageError(f"unknown storage backend {backend!r}; expected {BACKENDS}")
+
+
+__all__ = [
+    "BACKENDS",
+    "MemoryStore",
+    "PairLedger",
+    "STORE_FILENAME",
+    "SqliteStore",
+    "StorageError",
+    "Store",
+    "open_store",
+]

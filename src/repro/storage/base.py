@@ -1,0 +1,283 @@
+"""The pluggable storage layer: one interface, memory and SQLite backends.
+
+Everything a streaming session accumulates — resident records, the token
+vocabulary and CSR chunks of the incremental join, the candidate pairs,
+the per-pair vote ledger and posterior cache, the provenance table and the
+crowd-workload counters — lives behind a :class:`Store`.  Two backends
+implement it:
+
+* :class:`~repro.storage.memory.MemoryStore` (default) — the exact
+  in-memory structures the session always used, refactored behind the
+  interface.  Zero behavioral change, zero persistence.
+* :class:`~repro.storage.sqlite.SqliteStore` — a single WAL-mode SQLite
+  file.  Every session mutation is mirrored into tables inside one
+  transaction per applied event, so
+  :meth:`repro.streaming.StreamingResolver.restore` becomes a *page-in* of
+  the stored state plus a replay of only the journal events the store has
+  not committed — instead of a full journal replay or a pickle load.
+
+The hot path stays dict-speed for both backends: the session reads the
+:class:`PairLedger` mappings directly and every *mutation* goes through a
+ledger method, which a persistent backend overrides to mirror the change.
+Outputs are bit-identical across backends — the property tests in
+``tests/test_storage.py`` assert it for random batch/retract/update/crash
+schedules.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    import numpy as np
+
+    from repro.records.record import Record
+
+PairKey = Tuple[str, str]
+#: ``(worker_id, pair_key, answer)`` — the vote tuple of the crowd platform.
+Vote = Tuple[str, PairKey, bool]
+
+#: Row of the join substrate: ``(row_no, record_id, source, empty, dead)``.
+JoinRow = Tuple[int, str, Optional[str], bool, bool]
+
+
+class StorageError(RuntimeError):
+    """Raised for invalid storage configurations or corrupt store files."""
+
+
+class PairLedger:
+    """The hot pair/vote/posterior ledger of one streaming session.
+
+    Reads are plain attribute access on the dicts below (the session's
+    inner loops touch them constantly); every *mutation* goes through a
+    method so a persistent store can mirror the change into its tables.
+    The base class is the complete in-memory implementation.
+
+    Attributes
+    ----------
+    pairs:
+        Candidate pair key -> machine likelihood, in discovery order (the
+        page-in source for the session's :class:`~repro.records.pairs.PairSet`).
+    votes / vote_rounds / pending_votes:
+        Per-pair vote ledger: votes in oracle order, completed crowd
+        rounds, and votes gained since the pair was last aggregated.
+    posteriors:
+        The aggregated posterior cache.
+    covered:
+        Pairs covered by at least one published HIT.
+    """
+
+    def __init__(self) -> None:
+        self.pairs: Dict[PairKey, Optional[float]] = {}
+        self.votes: Dict[PairKey, List[Vote]] = {}
+        self.vote_rounds: Dict[PairKey, int] = {}
+        self.pending_votes: Dict[PairKey, int] = {}
+        self.posteriors: Dict[PairKey, float] = {}
+        self.covered: Set[PairKey] = set()
+
+    # ------------------------------------------------------------ mutations
+    def add_pair(self, key: PairKey, likelihood: Optional[float]) -> None:
+        """Register a discovered candidate pair (keeps the higher likelihood)."""
+        existing = self.pairs.get(key)
+        if key in self.pairs and (likelihood or 0.0) <= (existing or 0.0):
+            return
+        self.pairs[key] = likelihood
+
+    def drop_pair(self, key: PairKey) -> None:
+        """Invalidate one pair entirely (retraction blast radius)."""
+        self.pairs.pop(key, None)
+        self.votes.pop(key, None)
+        self.vote_rounds.pop(key, None)
+        self.pending_votes.pop(key, None)
+        self.posteriors.pop(key, None)
+        self.covered.discard(key)
+
+    def record_fresh_votes(self, key: PairKey, votes: List[Vote]) -> None:
+        """Replace a pair's ledger entry with a fresh vote round."""
+        self.votes[key] = votes
+        self.vote_rounds[key] = self.vote_rounds.get(key, 0) + 1
+        self.pending_votes[key] = self.pending_votes.get(key, 0) + len(votes)
+
+    def mark_covered(self, keys: Iterable[PairKey]) -> None:
+        """Note that published HITs covered the given pairs."""
+        self.covered.update(keys)
+
+    def set_posterior(self, key: PairKey, posterior: float) -> None:
+        self.posteriors[key] = posterior
+
+    def replace_posteriors(self, posteriors: Dict[PairKey, float]) -> None:
+        """Global-scope aggregation: the whole cache is rebuilt at once."""
+        self.posteriors = dict(posteriors)
+
+    def clear_pending(self, keys: Iterable[PairKey]) -> None:
+        for key in keys:
+            self.pending_votes.pop(key, None)
+
+    def clear_all_pending(self) -> None:
+        self.pending_votes.clear()
+
+    def load_bulk(
+        self,
+        *,
+        pairs: Dict[PairKey, Optional[float]],
+        votes: Dict[PairKey, List[Vote]],
+        vote_rounds: Dict[PairKey, int],
+        pending_votes: Dict[PairKey, int],
+        posteriors: Dict[PairKey, float],
+        covered: Set[PairKey],
+    ) -> None:
+        """Replace the whole ledger (snapshot restore / state_dict load)."""
+        self.pairs = dict(pairs)
+        self.votes = {key: list(entry) for key, entry in votes.items()}
+        self.vote_rounds = dict(vote_rounds)
+        self.pending_votes = dict(pending_votes)
+        self.posteriors = dict(posteriors)
+        self.covered = set(covered)
+
+
+class Store(abc.ABC):
+    """Backend interface of the storage layer.
+
+    One :class:`Store` instance backs one streaming session.  It provides:
+
+    * the **record table** (what :class:`~repro.records.record.RecordStore`
+      delegates to when constructed with ``backing=``),
+    * the :class:`PairLedger` (``self.ledger``),
+    * the **join substrate** mirror (vocabulary, CSR chunks, row
+      bookkeeping of the incremental join),
+    * the **provenance** mirror (the retract/update skip index),
+    * session **metadata** (config, truth, counters) and the accumulated
+      crowd-assignment durations.
+
+    ``persistent`` tells callers whether mirror writes do anything; the
+    in-memory backend keeps them as no-ops so the default path pays zero
+    overhead.
+    """
+
+    #: Human-readable backend name (``"memory"`` / ``"sqlite"``).
+    backend_name: str = "abstract"
+    #: True when mirror writes survive the process (page-in restore works).
+    persistent: bool = False
+
+    ledger: PairLedger
+
+    # ------------------------------------------------------------ lifecycle
+    def close(self) -> None:
+        """Release any underlying resources (no-op by default)."""
+
+    def commit(self) -> None:
+        """Durably commit buffered writes (no-op for memory)."""
+
+    @abc.abstractmethod
+    def reset(self) -> None:
+        """Wipe the store back to empty (used by full state reloads)."""
+
+    # --------------------------------------------------------- record table
+    @abc.abstractmethod
+    def add_record(self, record: "Record") -> None:
+        """Insert one record (caller guarantees the id is fresh)."""
+
+    @abc.abstractmethod
+    def remove_record(self, record_id: str) -> Optional["Record"]:
+        """Remove and return one record; ``None`` when the id is unknown."""
+
+    @abc.abstractmethod
+    def get_record(self, record_id: str) -> Optional["Record"]:
+        """Fetch one record; ``None`` when the id is unknown."""
+
+    @abc.abstractmethod
+    def has_record(self, record_id: object) -> bool:
+        ...
+
+    @abc.abstractmethod
+    def record_count(self) -> int:
+        ...
+
+    @abc.abstractmethod
+    def iter_records(self) -> Iterator["Record"]:
+        """All resident records in arrival order."""
+
+    @abc.abstractmethod
+    def record_ids(self) -> List[str]:
+        """Resident record ids in arrival order."""
+
+    @abc.abstractmethod
+    def record_at(self, index: int) -> "Record":
+        """The ``index``-th resident record in arrival order."""
+
+    # -------------------------------------------------------------- metadata
+    @abc.abstractmethod
+    def set_meta(self, key: str, value: object) -> None:
+        """Store one JSON-serializable metadata value."""
+
+    @abc.abstractmethod
+    def get_meta(self, key: str, default: object = None) -> object:
+        ...
+
+    # --------------------------------------------------------- join mirror
+    def join_append_rows(self, rows: Sequence[JoinRow]) -> None:
+        """Mirror newly indexed join rows (arrival order)."""
+
+    def join_mark_dead(self, row_no: int) -> None:
+        """Mirror a retraction tombstone."""
+
+    def join_replace(
+        self,
+        rows: Sequence[JoinRow],
+        indices: "np.ndarray",
+        row_lengths: "np.ndarray",
+    ) -> None:
+        """Mirror a physical compaction: the whole substrate is rewritten."""
+
+    def extend_vocabulary(self, items: Sequence[Tuple[str, int]]) -> None:
+        """Mirror newly assigned vocabulary columns."""
+
+    def append_csr_chunk(
+        self, indices: "np.ndarray", row_lengths: "np.ndarray"
+    ) -> None:
+        """Mirror one batch's CSR rows."""
+
+    def load_join_state(self) -> Optional[Dict[str, object]]:
+        """Page in the join substrate; ``None`` when nothing is stored."""
+        return None
+
+    # --------------------------------------------------- provenance mirror
+    def prov_write(
+        self,
+        key: PairKey,
+        discovered_batch: int,
+        hit_ids: Sequence[str],
+        vote_events: Sequence[Tuple[int, int, int]],
+    ) -> None:
+        """Mirror one pair's provenance row (insert or full update)."""
+
+    def prov_delete(self, keys: Iterable[PairKey]) -> None:
+        """Mirror a retraction: the dropped pairs leave the skip index."""
+
+    def load_provenance(
+        self,
+    ) -> Optional[List[Tuple[PairKey, int, List[str], List[Tuple[int, int, int]]]]]:
+        """Page in the provenance table; ``None`` when nothing is stored."""
+        return None
+
+    # ----------------------------------------------------- crowd workload
+    def append_assignment_seconds(self, values: Sequence[float]) -> None:
+        """Mirror crowd-assignment durations (append-only)."""
+
+    def load_assignment_seconds(self) -> List[float]:
+        """Page in the accumulated assignment durations."""
+        return []
+
+    def load_ledger(self) -> None:
+        """Populate ``self.ledger`` from storage (no-op for memory)."""

@@ -1,0 +1,580 @@
+"""The SQLite storage backend: one WAL-mode file per streaming session.
+
+:class:`SqliteStore` mirrors every session mutation into a single SQLite
+database so :meth:`repro.streaming.StreamingResolver.restore` can *page
+in* the session — records, token vocabulary, CSR chunks, candidate pairs,
+the vote ledger, posteriors, HIT coverage, provenance and the workload
+counters — instead of replaying the whole journal or unpickling a
+monolithic snapshot.  The write-ahead journal stays the source of truth
+for events the store has not committed yet; ``meta.events_applied`` marks
+the boundary.
+
+Pragmas (the embedded-store configuration the schema docs follow)::
+
+    journal_mode = WAL        -- crash-safe, readers never block the writer
+    synchronous  = NORMAL     -- fsync at WAL checkpoints, not every commit
+    foreign_keys = ON         -- referential integrity
+    busy_timeout = 30000 ms   -- wait for locked databases
+
+All writes between two :meth:`commit` calls form one transaction: the
+session opens a transaction implicitly at the first mirrored write of an
+event and commits after the event is fully applied, so a crash mid-event
+rolls back to the previous event boundary and the journal replays the
+interrupted event from its intent record.
+
+Float fidelity: SQLite ``REAL`` is an IEEE-754 double, and JSON numbers
+round-trip exactly through Python's ``repr``-based encoder, so posteriors,
+likelihoods and costs come back bit-identical — the restored session's
+:func:`repro.streaming.persistence.state_digest` matches the journal's.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sqlite3
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.records.record import Record
+from repro.storage.base import JoinRow, PairKey, PairLedger, Store, StorageError, Vote
+
+#: Default store filename inside a checkpoint directory.
+STORE_FILENAME = "store.sqlite"
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS meta (
+    key   TEXT PRIMARY KEY,
+    value TEXT NOT NULL
+);
+CREATE TABLE IF NOT EXISTS records (
+    record_id  TEXT PRIMARY KEY,
+    attributes TEXT NOT NULL,
+    source     TEXT,
+    arrival    INTEGER NOT NULL
+);
+CREATE INDEX IF NOT EXISTS records_arrival ON records(arrival);
+CREATE TABLE IF NOT EXISTS tokens (
+    token TEXT PRIMARY KEY,
+    col   INTEGER NOT NULL UNIQUE
+);
+CREATE TABLE IF NOT EXISTS join_rows (
+    row_no    INTEGER PRIMARY KEY,
+    record_id TEXT NOT NULL,
+    source    TEXT,
+    empty     INTEGER NOT NULL DEFAULT 0,
+    dead      INTEGER NOT NULL DEFAULT 0
+);
+CREATE TABLE IF NOT EXISTS csr_chunks (
+    chunk_no    INTEGER PRIMARY KEY AUTOINCREMENT,
+    indices     BLOB NOT NULL,
+    row_lengths BLOB NOT NULL
+);
+CREATE TABLE IF NOT EXISTS pairs (
+    ord        INTEGER PRIMARY KEY AUTOINCREMENT,
+    id_a       TEXT NOT NULL,
+    id_b       TEXT NOT NULL,
+    likelihood REAL,
+    UNIQUE (id_a, id_b)
+);
+CREATE TABLE IF NOT EXISTS pair_votes (
+    id_a    TEXT NOT NULL,
+    id_b    TEXT NOT NULL,
+    votes   TEXT NOT NULL,
+    rounds  INTEGER NOT NULL,
+    pending INTEGER NOT NULL,
+    PRIMARY KEY (id_a, id_b)
+);
+CREATE TABLE IF NOT EXISTS posteriors (
+    id_a      TEXT NOT NULL,
+    id_b      TEXT NOT NULL,
+    posterior REAL NOT NULL,
+    PRIMARY KEY (id_a, id_b)
+);
+CREATE TABLE IF NOT EXISTS covered (
+    id_a TEXT NOT NULL,
+    id_b TEXT NOT NULL,
+    PRIMARY KEY (id_a, id_b)
+);
+CREATE TABLE IF NOT EXISTS provenance (
+    id_a             TEXT NOT NULL,
+    id_b             TEXT NOT NULL,
+    discovered_batch INTEGER NOT NULL,
+    hit_ids          TEXT NOT NULL,
+    vote_events      TEXT NOT NULL,
+    PRIMARY KEY (id_a, id_b)
+);
+CREATE INDEX IF NOT EXISTS provenance_a ON provenance(id_a);
+CREATE INDEX IF NOT EXISTS provenance_b ON provenance(id_b);
+CREATE TABLE IF NOT EXISTS assignment_seconds (
+    ord     INTEGER PRIMARY KEY AUTOINCREMENT,
+    seconds REAL NOT NULL
+);
+"""
+
+_TABLES = (
+    "meta",
+    "records",
+    "tokens",
+    "join_rows",
+    "csr_chunks",
+    "pairs",
+    "pair_votes",
+    "posteriors",
+    "covered",
+    "provenance",
+    "assignment_seconds",
+)
+
+
+def _blob(array: np.ndarray) -> bytes:
+    return np.ascontiguousarray(array, dtype="<i8").tobytes()
+
+
+def _unblob(blob: bytes) -> np.ndarray:
+    return np.frombuffer(blob, dtype="<i8").astype(np.int64)
+
+
+class SqlitePairLedger(PairLedger):
+    """The hot ledger dicts, with every mutation mirrored into SQL.
+
+    Reads stay pure dict access; each override applies the in-memory
+    change first (the base class) and then writes the *post-state* of the
+    touched rows, so the tables always equal the dicts at event
+    boundaries regardless of how the session sequenced its calls.
+    """
+
+    def __init__(self, store: "SqliteStore") -> None:
+        super().__init__()
+        self._store = store
+
+    def add_pair(self, key: PairKey, likelihood: Optional[float]) -> None:
+        super().add_pair(key, likelihood)
+        self._store.execute(
+            "INSERT INTO pairs (id_a, id_b, likelihood) VALUES (?, ?, ?) "
+            "ON CONFLICT(id_a, id_b) DO UPDATE SET likelihood = excluded.likelihood",
+            (key[0], key[1], self.pairs[key]),
+        )
+
+    def drop_pair(self, key: PairKey) -> None:
+        super().drop_pair(key)
+        for table in ("pairs", "pair_votes", "posteriors", "covered"):
+            self._store.execute(
+                f"DELETE FROM {table} WHERE id_a = ? AND id_b = ?", key
+            )
+
+    def record_fresh_votes(self, key: PairKey, votes: List[Vote]) -> None:
+        super().record_fresh_votes(key, votes)
+        self._store.execute(
+            "INSERT OR REPLACE INTO pair_votes (id_a, id_b, votes, rounds, pending) "
+            "VALUES (?, ?, ?, ?, ?)",
+            (
+                key[0],
+                key[1],
+                json.dumps([[worker, bool(answer)] for worker, _, answer in votes]),
+                self.vote_rounds[key],
+                self.pending_votes[key],
+            ),
+        )
+
+    def mark_covered(self, keys: Iterable[PairKey]) -> None:
+        keys = list(keys)
+        super().mark_covered(keys)
+        self._store.executemany(
+            "INSERT OR IGNORE INTO covered (id_a, id_b) VALUES (?, ?)", keys
+        )
+
+    def set_posterior(self, key: PairKey, posterior: float) -> None:
+        super().set_posterior(key, posterior)
+        self._store.execute(
+            "INSERT OR REPLACE INTO posteriors (id_a, id_b, posterior) "
+            "VALUES (?, ?, ?)",
+            (key[0], key[1], float(posterior)),
+        )
+
+    def replace_posteriors(self, posteriors: Dict[PairKey, float]) -> None:
+        super().replace_posteriors(posteriors)
+        self._store.execute("DELETE FROM posteriors")
+        self._store.executemany(
+            "INSERT INTO posteriors (id_a, id_b, posterior) VALUES (?, ?, ?)",
+            [(key[0], key[1], float(value)) for key, value in self.posteriors.items()],
+        )
+
+    def clear_pending(self, keys: Iterable[PairKey]) -> None:
+        keys = list(keys)
+        super().clear_pending(keys)
+        self._store.executemany(
+            "UPDATE pair_votes SET pending = 0 WHERE id_a = ? AND id_b = ?", keys
+        )
+
+    def clear_all_pending(self) -> None:
+        super().clear_all_pending()
+        self._store.execute("UPDATE pair_votes SET pending = 0")
+
+    def load_bulk(self, **state) -> None:
+        super().load_bulk(**state)
+        for table in ("pairs", "pair_votes", "posteriors", "covered"):
+            self._store.execute(f"DELETE FROM {table}")
+        self._store.executemany(
+            "INSERT INTO pairs (id_a, id_b, likelihood) VALUES (?, ?, ?)",
+            [(key[0], key[1], value) for key, value in self.pairs.items()],
+        )
+        self._store.executemany(
+            "INSERT INTO pair_votes (id_a, id_b, votes, rounds, pending) "
+            "VALUES (?, ?, ?, ?, ?)",
+            [
+                (
+                    key[0],
+                    key[1],
+                    json.dumps(
+                        [[worker, bool(answer)] for worker, _, answer in votes]
+                    ),
+                    self.vote_rounds.get(key, 0),
+                    self.pending_votes.get(key, 0),
+                )
+                for key, votes in self.votes.items()
+            ],
+        )
+        self._store.executemany(
+            "INSERT INTO posteriors (id_a, id_b, posterior) VALUES (?, ?, ?)",
+            [(key[0], key[1], float(value)) for key, value in self.posteriors.items()],
+        )
+        self._store.executemany(
+            "INSERT INTO covered (id_a, id_b) VALUES (?, ?)", list(self.covered)
+        )
+
+
+class SqliteStore(Store):
+    """Disk-backed session store over one WAL-mode SQLite file."""
+
+    backend_name = "sqlite"
+    persistent = True
+
+    def __init__(self, path: os.PathLike) -> None:
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        try:
+            self._conn = sqlite3.connect(str(self.path), isolation_level=None)
+        except sqlite3.Error as error:  # pragma: no cover - bad path
+            raise StorageError(f"cannot open sqlite store {self.path}: {error}")
+        try:
+            self._conn.execute("PRAGMA journal_mode=WAL")
+            self._conn.execute("PRAGMA synchronous=NORMAL")
+            self._conn.execute("PRAGMA foreign_keys=ON")
+            self._conn.execute("PRAGMA busy_timeout=30000")
+            self._conn.executescript(_SCHEMA)
+        except sqlite3.DatabaseError as error:
+            self._conn.close()
+            raise StorageError(f"{self.path} is not a session store: {error}")
+        self._in_txn = False
+        # Resident id set: makes ``in store`` / ``len(store)`` O(1) without
+        # holding any record content in memory.
+        self._ids: Set[str] = {
+            row[0] for row in self._conn.execute("SELECT record_id FROM records")
+        }
+        row = self._conn.execute("SELECT MAX(arrival) FROM records").fetchone()
+        self._next_arrival = (row[0] + 1) if row and row[0] is not None else 0
+        self.ledger = SqlitePairLedger(self)
+        self.load_ledger()
+
+    # ---------------------------------------------------------- transactions
+    def execute(self, sql: str, params: Sequence = ()) -> sqlite3.Cursor:
+        """Run one statement inside the open per-event transaction."""
+        if not self._in_txn:
+            self._conn.execute("BEGIN")
+            self._in_txn = True
+        return self._conn.execute(sql, params)
+
+    def executemany(self, sql: str, rows: Sequence[Sequence]) -> None:
+        if not rows:
+            return
+        if not self._in_txn:
+            self._conn.execute("BEGIN")
+            self._in_txn = True
+        self._conn.executemany(sql, rows)
+
+    def commit(self) -> None:
+        if self._in_txn:
+            self._conn.execute("COMMIT")
+            self._in_txn = False
+
+    def rollback(self) -> None:
+        """Abandon the open transaction (crash-simulation hooks in tests)."""
+        if self._in_txn:
+            self._conn.execute("ROLLBACK")
+            self._in_txn = False
+
+    def close(self) -> None:
+        self.rollback()
+        self._conn.close()
+
+    def reset(self) -> None:
+        for table in _TABLES:
+            self.execute(f"DELETE FROM {table}")
+        self._ids = set()
+        self._next_arrival = 0
+        self.ledger = SqlitePairLedger(self)
+
+    # --------------------------------------------------------- record table
+    def add_record(self, record: Record) -> None:
+        self.execute(
+            "INSERT INTO records (record_id, attributes, source, arrival) "
+            "VALUES (?, ?, ?, ?)",
+            (
+                record.record_id,
+                json.dumps(dict(record.attributes)),
+                record.source,
+                self._next_arrival,
+            ),
+        )
+        self._next_arrival += 1
+        self._ids.add(record.record_id)
+
+    def remove_record(self, record_id: str) -> Optional[Record]:
+        record = self.get_record(record_id)
+        if record is None:
+            return None
+        self.execute("DELETE FROM records WHERE record_id = ?", (record_id,))
+        self._ids.discard(record_id)
+        return record
+
+    def get_record(self, record_id: str) -> Optional[Record]:
+        if record_id not in self._ids:
+            return None
+        row = self.execute(
+            "SELECT attributes, source FROM records WHERE record_id = ?",
+            (record_id,),
+        ).fetchone()
+        if row is None:  # pragma: no cover - id set and table disagree
+            return None
+        return Record(
+            record_id=record_id, attributes=json.loads(row[0]), source=row[1]
+        )
+
+    def has_record(self, record_id: object) -> bool:
+        return record_id in self._ids
+
+    def record_count(self) -> int:
+        return len(self._ids)
+
+    def iter_records(self) -> Iterator[Record]:
+        cursor = self._conn.execute(
+            "SELECT record_id, attributes, source FROM records ORDER BY arrival"
+        )
+        for record_id, attributes, source in cursor:
+            yield Record(
+                record_id=record_id, attributes=json.loads(attributes), source=source
+            )
+
+    def record_ids(self) -> List[str]:
+        return [
+            row[0]
+            for row in self._conn.execute(
+                "SELECT record_id FROM records ORDER BY arrival"
+            )
+        ]
+
+    def record_at(self, index: int) -> Record:
+        row = self._conn.execute(
+            "SELECT record_id, attributes, source FROM records "
+            "ORDER BY arrival LIMIT 1 OFFSET ?",
+            (index,),
+        ).fetchone()
+        if row is None:
+            raise IndexError(index)
+        return Record(record_id=row[0], attributes=json.loads(row[1]), source=row[2])
+
+    # -------------------------------------------------------------- metadata
+    def set_meta(self, key: str, value: object) -> None:
+        self.execute(
+            "INSERT OR REPLACE INTO meta (key, value) VALUES (?, ?)",
+            (key, json.dumps(value)),
+        )
+
+    def get_meta(self, key: str, default: object = None) -> object:
+        row = self._conn.execute(
+            "SELECT value FROM meta WHERE key = ?", (key,)
+        ).fetchone()
+        return default if row is None else json.loads(row[0])
+
+    # ----------------------------------------------------------- join mirror
+    def join_append_rows(self, rows: Sequence[JoinRow]) -> None:
+        self.executemany(
+            "INSERT INTO join_rows (row_no, record_id, source, empty, dead) "
+            "VALUES (?, ?, ?, ?, ?)",
+            [
+                (row_no, record_id, source, int(empty), int(dead))
+                for row_no, record_id, source, empty, dead in rows
+            ],
+        )
+
+    def join_mark_dead(self, row_no: int) -> None:
+        self.execute("UPDATE join_rows SET dead = 1 WHERE row_no = ?", (row_no,))
+
+    def join_replace(
+        self,
+        rows: Sequence[JoinRow],
+        indices: np.ndarray,
+        row_lengths: np.ndarray,
+    ) -> None:
+        self.execute("DELETE FROM join_rows")
+        self.execute("DELETE FROM csr_chunks")
+        self.join_append_rows(rows)
+        if len(row_lengths):
+            self.append_csr_chunk(indices, row_lengths)
+
+    def extend_vocabulary(self, items: Sequence[Tuple[str, int]]) -> None:
+        self.executemany("INSERT INTO tokens (token, col) VALUES (?, ?)", items)
+
+    def append_csr_chunk(self, indices: np.ndarray, row_lengths: np.ndarray) -> None:
+        self.execute(
+            "INSERT INTO csr_chunks (indices, row_lengths) VALUES (?, ?)",
+            (_blob(np.asarray(indices)), _blob(np.asarray(row_lengths))),
+        )
+
+    def load_join_state(self) -> Optional[Dict[str, object]]:
+        rows = [
+            (row_no, record_id, source, bool(empty), bool(dead))
+            for row_no, record_id, source, empty, dead in self._conn.execute(
+                "SELECT row_no, record_id, source, empty, dead "
+                "FROM join_rows ORDER BY row_no"
+            )
+        ]
+        vocabulary = {
+            token: col
+            for token, col in self._conn.execute(
+                "SELECT token, col FROM tokens ORDER BY col"
+            )
+        }
+        chunks: List[np.ndarray] = []
+        lengths: List[np.ndarray] = []
+        for indices_blob, lengths_blob in self._conn.execute(
+            "SELECT indices, row_lengths FROM csr_chunks ORDER BY chunk_no"
+        ):
+            chunks.append(_unblob(indices_blob))
+            lengths.append(_unblob(lengths_blob))
+        if not rows and not vocabulary and not chunks:
+            return None
+        indices = (
+            np.concatenate(chunks) if chunks else np.empty(0, dtype=np.int64)
+        )
+        row_lengths = (
+            np.concatenate(lengths) if lengths else np.empty(0, dtype=np.int64)
+        )
+        indptr = np.zeros(len(row_lengths) + 1, dtype=np.int64)
+        np.cumsum(row_lengths, out=indptr[1:])
+        if len(rows) != len(row_lengths):
+            raise StorageError(
+                f"join substrate of {self.path} is inconsistent: "
+                f"{len(rows)} rows vs {len(row_lengths)} CSR row lengths"
+            )
+        return {
+            "rows": rows,
+            "vocabulary": vocabulary,
+            "indices": indices,
+            "indptr": indptr.tolist(),
+        }
+
+    # ----------------------------------------------------- provenance mirror
+    def prov_write(
+        self,
+        key: PairKey,
+        discovered_batch: int,
+        hit_ids: Sequence[str],
+        vote_events: Sequence[Tuple[int, int, int]],
+    ) -> None:
+        self.execute(
+            "INSERT OR REPLACE INTO provenance "
+            "(id_a, id_b, discovered_batch, hit_ids, vote_events) "
+            "VALUES (?, ?, ?, ?, ?)",
+            (
+                key[0],
+                key[1],
+                discovered_batch,
+                json.dumps(list(hit_ids)),
+                json.dumps([list(event) for event in vote_events]),
+            ),
+        )
+
+    def prov_delete(self, keys: Iterable[PairKey]) -> None:
+        self.executemany(
+            "DELETE FROM provenance WHERE id_a = ? AND id_b = ?", list(keys)
+        )
+
+    def load_provenance(
+        self,
+    ) -> Optional[List[Tuple[PairKey, int, List[str], List[Tuple[int, int, int]]]]]:
+        return [
+            (
+                (id_a, id_b),
+                discovered,
+                json.loads(hit_ids),
+                [tuple(event) for event in json.loads(vote_events)],
+            )
+            for id_a, id_b, discovered, hit_ids, vote_events in self._conn.execute(
+                "SELECT id_a, id_b, discovered_batch, hit_ids, vote_events "
+                "FROM provenance ORDER BY rowid"
+            )
+        ]
+
+    # ------------------------------------------------------- crowd workload
+    def append_assignment_seconds(self, values: Sequence[float]) -> None:
+        self.executemany(
+            "INSERT INTO assignment_seconds (seconds) VALUES (?)",
+            [(float(value),) for value in values],
+        )
+
+    def load_assignment_seconds(self) -> List[float]:
+        return [
+            row[0]
+            for row in self._conn.execute(
+                "SELECT seconds FROM assignment_seconds ORDER BY ord"
+            )
+        ]
+
+    # ------------------------------------------------------------- page-in
+    def load_ledger(self) -> None:
+        """Populate the hot ledger dicts from the pair tables."""
+        pairs: Dict[PairKey, Optional[float]] = {}
+        for id_a, id_b, likelihood in self._conn.execute(
+            "SELECT id_a, id_b, likelihood FROM pairs ORDER BY ord"
+        ):
+            pairs[(id_a, id_b)] = likelihood
+        votes: Dict[PairKey, List[Vote]] = {}
+        rounds: Dict[PairKey, int] = {}
+        pending: Dict[PairKey, int] = {}
+        for id_a, id_b, votes_json, round_count, pending_count in self._conn.execute(
+            "SELECT id_a, id_b, votes, rounds, pending FROM pair_votes"
+        ):
+            key = (id_a, id_b)
+            votes[key] = [
+                (worker, key, bool(answer)) for worker, answer in json.loads(votes_json)
+            ]
+            rounds[key] = round_count
+            # A live session pops a pair's pending counter when it is
+            # aggregated (the SQL mirror stores 0), so only positive
+            # counters come back as dict entries.
+            if pending_count:
+                pending[key] = pending_count
+        posteriors = {
+            (id_a, id_b): posterior
+            for id_a, id_b, posterior in self._conn.execute(
+                "SELECT id_a, id_b, posterior FROM posteriors"
+            )
+        }
+        covered = {
+            (id_a, id_b)
+            for id_a, id_b in self._conn.execute("SELECT id_a, id_b FROM covered")
+        }
+        # Direct dict assignment: loading must not re-mirror what was read.
+        PairLedger.load_bulk(
+            self.ledger,
+            pairs=pairs,
+            votes=votes,
+            vote_rounds=rounds,
+            pending_votes=pending,
+            posteriors=posteriors,
+            covered=covered,
+        )

@@ -32,9 +32,12 @@ bit-identical, not merely close.
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+from typing import TYPE_CHECKING, Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.storage.base import Store
 
 from repro.records.pairs import PairSet, RecordPair
 from repro.records.record import Record, RecordError, RecordStore
@@ -88,6 +91,17 @@ class IncrementalSimJoin:
         = one per CPU core; sharding only engages when a batch spans more
         than one row block, so small appends never pay pool overhead.  Any
         value yields bit-identical deltas.
+    storage:
+        Optional :class:`repro.storage.base.Store`.  With a *persistent*
+        store the join runs in **offload mode**: per-record token sets are
+        not held in memory (they are recomputed on demand from the stored
+        record through the same deterministic tokenizer), and every index
+        mutation — appended CSR chunks, new vocabulary columns, tombstones,
+        compactions — is mirrored into the store so a later process can
+        page the substrate back in with :meth:`from_store`.  A
+        non-persistent (or absent) store changes nothing.  In offload mode
+        :meth:`retract` must be called while the record is still resident
+        in the store (i.e. before ``remove_record``).
 
     Records are appended in batches and can be *retracted* individually
     (:meth:`retract`): a retracted record's CSR row becomes a tombstone
@@ -112,6 +126,7 @@ class IncrementalSimJoin:
         cross_sources: Optional[Tuple[str, str]] = None,
         block_size: int = 1024,
         workers: Optional[int] = None,
+        storage: Optional["Store"] = None,
     ) -> None:
         if not 0.0 <= threshold <= 1.0:
             raise ValueError("threshold must be in [0, 1]")
@@ -126,13 +141,21 @@ class IncrementalSimJoin:
         self.block_size = block_size
         self.workers = workers
         self._tokenizer = WhitespaceTokenizer()
+        self._storage = storage
+        self._offload = storage is not None and storage.persistent
         # Persistent index over all resident records.  ``_record_ids`` is
         # row-aligned with the CSR arrays and may contain tombstoned rows
         # (``_dead_rows``); ``_row_of`` maps each *alive* id to its row.
         self._record_ids: List[str] = []
         self._row_of: Dict[str, int] = {}
         self._dead_rows: Set[int] = set()
+        # In-memory mode holds every record's token set; offload mode only
+        # keeps the alive-id set and recomputes token sets from the stored
+        # records on demand (tokenization is deterministic, so the results
+        # are identical — the whole point of offloading is that token sets
+        # are the dominant resident cost of a large stream).
         self._token_sets: Dict[str, FrozenSet[str]] = {}
+        self._alive: Set[str] = set()
         self._sources: Dict[str, Optional[str]] = {}
         self._empty_ids: List[str] = []
         # Flat CSR arrays (rows = records in arrival order), one chunk per
@@ -152,9 +175,11 @@ class IncrementalSimJoin:
     # -------------------------------------------------------------- queries
     def __len__(self) -> int:
         """Number of *alive* (non-retracted) resident records."""
-        return len(self._token_sets)
+        return len(self._alive) if self._offload else len(self._token_sets)
 
     def __contains__(self, record_id: object) -> bool:
+        if self._offload:
+            return record_id in self._alive
         return record_id in self._token_sets
 
     @property
@@ -173,6 +198,17 @@ class IncrementalSimJoin:
 
     def token_set(self, record_id: str) -> FrozenSet[str]:
         """The indexed token set of a resident record."""
+        if self._offload and record_id not in self._alive:
+            raise KeyError(record_id)
+        return self._tokens_of(record_id)
+
+    def _tokens_of(self, record_id: str) -> FrozenSet[str]:
+        """The token set of a resident record (recomputed in offload mode)."""
+        if self._offload:
+            record = self._storage.get_record(record_id)
+            if record is None:
+                raise KeyError(record_id)
+            return record_token_set(record, self.attributes, self._tokenizer)
         return self._token_sets[record_id]
 
     def effective_workers(self) -> int:
@@ -191,7 +227,7 @@ class IncrementalSimJoin:
         batch = list(records)
         seen_batch: Set[str] = set()
         for record in batch:
-            if record.record_id in self._token_sets or record.record_id in seen_batch:
+            if record.record_id in self or record.record_id in seen_batch:
                 raise RecordError(f"duplicate record id: {record.record_id!r}")
             seen_batch.add(record.record_id)
 
@@ -201,9 +237,14 @@ class IncrementalSimJoin:
         }
         # One columnar pass builds the batch's CSR rows and extends the
         # persistent vocabulary; both the new-vs-old product and the index
-        # append below reuse these arrays.
+        # append below reuse these arrays.  In offload mode the batch's
+        # novel tokens are collected so exactly those columns can be
+        # mirrored into the store.
+        novel: Optional[List[str]] = [] if self._offload else None
         batch_indices, batch_indptr = extend_vocabulary_csr_arrays(
-            [new_tokens[record.record_id] for record in batch], self._vocab
+            [new_tokens[record.record_id] for record in batch],
+            self._vocab,
+            novel_out=novel,
         )
 
         delta = PairSet()
@@ -211,7 +252,7 @@ class IncrementalSimJoin:
             self._join_new_vs_old(batch, new_tokens, delta, batch_indices, batch_indptr)
         if len(batch) >= 2:
             self._join_new_vs_new(batch, delta)
-        self._index_batch(batch, new_tokens, batch_indices, batch_indptr)
+        self._index_batch(batch, new_tokens, batch_indices, batch_indptr, novel)
         # Canonical order (the same rule as SimJoinLikelihood.estimate), so
         # downstream tie-breaking is independent of discovery order.
         return PairSet(
@@ -231,20 +272,34 @@ class IncrementalSimJoin:
         Raises :class:`~repro.records.record.RecordError` for unknown (or
         already retracted) ids.
         """
-        tokens = self._token_sets.pop(record_id, None)
-        if tokens is None:
-            raise RecordError(f"unknown record id: {record_id!r}")
-        self._dead_rows.add(self._row_of.pop(record_id))
+        if self._offload:
+            if record_id not in self._alive:
+                raise RecordError(f"unknown record id: {record_id!r}")
+            # Recompute tokens only when the inverted index needs them;
+            # the record must still be resident in the store (sessions
+            # retract from the join before removing the record).
+            tokens = self._tokens_of(record_id) if self._maintain_inverted else None
+            self._alive.discard(record_id)
+            was_empty = record_id in self._empty_ids
+        else:
+            tokens = self._token_sets.pop(record_id, None)
+            if tokens is None:
+                raise RecordError(f"unknown record id: {record_id!r}")
+            was_empty = not tokens
+        row = self._row_of.pop(record_id)
+        self._dead_rows.add(row)
         del self._sources[record_id]
-        if not tokens:
+        if was_empty:
             self._empty_ids.remove(record_id)
-        if self._maintain_inverted:
+        if self._maintain_inverted and tokens:
             for token in tokens:
                 postings = self._inverted.get(token)
                 if postings is not None:
                     postings.remove(record_id)
                     if not postings:
                         del self._inverted[token]
+        if self._offload:
+            self._storage.join_mark_dead(row)
         if (
             len(self._dead_rows) >= self.COMPACT_MIN_TOMBSTONES
             and len(self._dead_rows)
@@ -282,7 +337,31 @@ class IncrementalSimJoin:
         ]
         self._row_of = {record_id: row for row, record_id in enumerate(self._record_ids)}
         self._dead_rows = set()
+        if self._offload:
+            self._mirror_replace()
         return dropped
+
+    def _mirror_replace(self) -> None:
+        """Rewrite the store's join substrate to match the live arrays."""
+        empty_set = set(self._empty_ids)
+        self._storage.join_replace(
+            [
+                (
+                    row,
+                    record_id,
+                    self._sources.get(record_id),
+                    record_id in empty_set,
+                    row in self._dead_rows,
+                )
+                for row, record_id in enumerate(self._record_ids)
+            ],
+            (
+                np.concatenate(self._index_chunks)
+                if self._index_chunks
+                else np.empty(0, dtype=np.int64)
+            ),
+            np.diff(np.asarray(self._indptr, dtype=np.int64)),
+        )
 
     # ------------------------------------------------------------ internals
     def _cross_ok(self, source_a: Optional[str], source_b: Optional[str]) -> bool:
@@ -358,7 +437,7 @@ class IncrementalSimJoin:
             for old_id in alive_ids:
                 if not self._cross_ok(record.source, self._sources[old_id]):
                     continue
-                old_tokens = self._token_sets[old_id]
+                old_tokens = self._tokens_of(old_id)
                 if not tokens and not old_tokens:
                     similarity = 1.0
                 else:
@@ -383,7 +462,7 @@ class IncrementalSimJoin:
             for old_id in candidates:
                 if not self._cross_ok(record.source, self._sources[old_id]):
                     continue
-                old_tokens = self._token_sets[old_id]
+                old_tokens = self._tokens_of(old_id)
                 union = len(tokens | old_tokens)
                 similarity = len(tokens & old_tokens) / union
                 if similarity >= self.threshold:
@@ -470,14 +549,39 @@ class IncrementalSimJoin:
         new_tokens: Dict[str, FrozenSet[str]],
         batch_indices: np.ndarray,
         batch_indptr: np.ndarray,
+        novel: Optional[List[str]] = None,
     ) -> None:
         """Fold the batch into the persistent token/CSR index.
 
         The CSR rows were already built columnarly in :meth:`add_batch`;
         here they are appended wholesale, and only the bookkeeping that is
         inherently per record (sources, empty ids, the probe path's
-        inverted index when it is maintained at all) loops in Python.
+        inverted index when it is maintained at all) loops in Python.  In
+        offload mode the same arrays are mirrored into the store: the new
+        rows, the batch's CSR chunk, and exactly the novel vocabulary
+        columns.
         """
+        if self._offload and batch:
+            first_row = len(self._record_ids)
+            self._storage.join_append_rows(
+                [
+                    (
+                        first_row + position,
+                        record.record_id,
+                        record.source,
+                        not new_tokens[record.record_id],
+                        False,
+                    )
+                    for position, record in enumerate(batch)
+                ]
+            )
+            self._storage.append_csr_chunk(
+                batch_indices, np.diff(np.asarray(batch_indptr, dtype=np.int64))
+            )
+            if novel:
+                self._storage.extend_vocabulary(
+                    [(token, self._vocab[token]) for token in novel]
+                )
         offset = self._indptr[-1]
         if len(batch_indices):
             self._index_chunks.append(batch_indices)
@@ -487,7 +591,10 @@ class IncrementalSimJoin:
             tokens = new_tokens[record_id]
             self._row_of[record_id] = len(self._record_ids)
             self._record_ids.append(record_id)
-            self._token_sets[record_id] = tokens
+            if self._offload:
+                self._alive.add(record_id)
+            else:
+                self._token_sets[record_id] = tokens
             self._sources[record_id] = record.source
             if not tokens:
                 self._empty_ids.append(record_id)
@@ -506,6 +613,8 @@ class IncrementalSimJoin:
         ):
             self._maintain_inverted = False
             self._inverted.clear()
+            if self._offload:
+                self._storage.set_meta("join_maintain_inverted", False)
 
     # -------------------------------------------------------- serialization
     def state_dict(self) -> Dict[str, object]:
@@ -529,7 +638,11 @@ class IncrementalSimJoin:
             "record_ids": list(self._record_ids),
             "row_of": dict(self._row_of),
             "dead_rows": set(self._dead_rows),
-            "token_sets": dict(self._token_sets),
+            "token_sets": (
+                {record_id: self._tokens_of(record_id) for record_id in self.record_ids}
+                if self._offload
+                else dict(self._token_sets)
+            ),
             "sources": dict(self._sources),
             "empty_ids": list(self._empty_ids),
             "vocabulary": dict(self._vocab),
@@ -546,8 +659,15 @@ class IncrementalSimJoin:
         }
 
     @classmethod
-    def from_state_dict(cls, state: Dict[str, object]) -> "IncrementalSimJoin":
-        """Rebuild an index from :meth:`state_dict` output."""
+    def from_state_dict(
+        cls, state: Dict[str, object], storage: Optional["Store"] = None
+    ) -> "IncrementalSimJoin":
+        """Rebuild an index from :meth:`state_dict` output.
+
+        With a persistent ``storage`` the rebuilt substrate is re-mirrored
+        into it (the caller is expected to have reset the store first, the
+        way a snapshot restore wipes and reloads the whole session).
+        """
         instance = cls(
             threshold=state["threshold"],  # type: ignore[arg-type]
             attributes=state["attributes"],  # type: ignore[arg-type]
@@ -557,14 +677,18 @@ class IncrementalSimJoin:
             ),
             block_size=state["block_size"],  # type: ignore[arg-type]
             workers=state["workers"],  # type: ignore[arg-type]
+            storage=storage,
         )
         instance._record_ids = list(state["record_ids"])  # type: ignore[arg-type]
         instance._row_of = dict(state["row_of"])  # type: ignore[arg-type]
         instance._dead_rows = set(state["dead_rows"])  # type: ignore[arg-type]
-        instance._token_sets = {
-            record_id: frozenset(tokens)
-            for record_id, tokens in state["token_sets"].items()  # type: ignore[union-attr]
-        }
+        if instance._offload:
+            instance._alive = set(state["token_sets"].keys())  # type: ignore[union-attr]
+        else:
+            instance._token_sets = {
+                record_id: frozenset(tokens)
+                for record_id, tokens in state["token_sets"].items()  # type: ignore[union-attr]
+            }
         instance._sources = dict(state["sources"])  # type: ignore[arg-type]
         instance._empty_ids = list(state["empty_ids"])  # type: ignore[arg-type]
         instance._vocab = dict(state["vocabulary"])  # type: ignore[arg-type]
@@ -575,4 +699,70 @@ class IncrementalSimJoin:
         instance._inverted = defaultdict(list)
         for token, ids in state["inverted"].items():  # type: ignore[union-attr]
             instance._inverted[token] = list(ids)
+        if instance._offload:
+            instance._mirror_replace()
+            storage.extend_vocabulary(
+                sorted(instance._vocab.items(), key=lambda item: item[1])
+            )
+            storage.set_meta("join_maintain_inverted", instance._maintain_inverted)
+        return instance
+
+    @classmethod
+    def from_store(
+        cls,
+        storage: "Store",
+        *,
+        threshold: float,
+        attributes: Optional[Sequence[str]] = None,
+        backend: str = AUTO_BACKEND,
+        cross_sources: Optional[Tuple[str, str]] = None,
+        block_size: int = 1024,
+        workers: Optional[int] = None,
+    ) -> "IncrementalSimJoin":
+        """Page the join substrate back in from a persistent store.
+
+        Construction parameters are not stored with the substrate (they
+        belong to the workflow config), so the caller passes them again.
+        The CSR arrays, vocabulary and row bookkeeping come back exactly
+        as mirrored; the probe path's inverted index — pure derived data —
+        is rebuilt from the stored records only when it is still
+        maintained.  Returns an empty index when the store has no
+        substrate yet.
+        """
+        instance = cls(
+            threshold=threshold,
+            attributes=attributes,
+            backend=backend,
+            cross_sources=cross_sources,
+            block_size=block_size,
+            workers=workers,
+            storage=storage,
+        )
+        state = storage.load_join_state()
+        if state is None:
+            return instance
+        rows: List[Tuple[int, str, Optional[str], bool, bool]] = state["rows"]  # type: ignore[assignment]
+        instance._record_ids = [record_id for _, record_id, _, _, _ in rows]
+        instance._dead_rows = {row_no for row_no, _, _, _, dead in rows if dead}
+        instance._row_of = {
+            record_id: row_no for row_no, record_id, _, _, dead in rows if not dead
+        }
+        instance._alive = set(instance._row_of)
+        instance._sources = {
+            record_id: source for _, record_id, source, _, dead in rows if not dead
+        }
+        instance._empty_ids = [
+            record_id for _, record_id, _, empty, dead in rows if empty and not dead
+        ]
+        instance._vocab = dict(state["vocabulary"])  # type: ignore[arg-type]
+        indices = np.asarray(state["indices"], dtype=np.int64)
+        instance._index_chunks = [indices] if len(indices) else []
+        instance._indptr = list(state["indptr"])  # type: ignore[arg-type]
+        instance._maintain_inverted = bool(
+            storage.get_meta("join_maintain_inverted", instance._maintain_inverted)
+        )
+        if instance._maintain_inverted:
+            for record_id in instance.record_ids:
+                for token in instance._tokens_of(record_id):
+                    instance._inverted[token].append(record_id)
         return instance

@@ -9,8 +9,21 @@ compacted snapshots so recovery does not replay the whole history.
 Directory layout::
 
     checkpoint_dir/
-        journal.jsonl            append-only event log (one JSON object per line)
+        journal.jsonl            the *active* journal segment (one JSON object per line)
+        journal-<a>-<b>.jsonl    closed segments holding events <a>..<b>
+        archive/                 closed segments already covered by a snapshot
         snapshot-<seq>.pkl       compacted state after the first <seq> events
+        store.sqlite             (sqlite backend only) the paged-in session store
+
+**Segment rotation.**  The active file is rotated — atomically renamed to
+``journal-<first>-<last>.jsonl`` — once it holds
+``WorkflowConfig.journal_segment_events`` events, so no single file grows
+without bound.  :meth:`SessionJournal.compact_covered` then *archives*
+every closed segment whose events are fully covered by a snapshot (or by
+the SQLite store's committed state): the segment moves into ``archive/``
+and stops being scanned on restore.  Rotation is a single ``os.replace``
+and archival never touches the active file, so a crash at any point in
+the lifecycle leaves a readable journal.
 
 **Journal.**  Each line carries a monotonically increasing ``seq``, an
 event ``type``, a ``payload`` and a CRC over all three.  *Intent* events
@@ -56,6 +69,8 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.records.record import Record
 
 JOURNAL_FILENAME = "journal.jsonl"
+SEGMENT_PATTERN = re.compile(r"^journal-(\d+)-(\d+)\.jsonl$")
+ARCHIVE_DIRNAME = "archive"
 SNAPSHOT_PATTERN = re.compile(r"^snapshot-(\d+)\.pkl$")
 FORMAT_VERSION = 1
 
@@ -134,26 +149,55 @@ class JournalEvent:
     payload: Dict[str, object]
 
 
-class SessionJournal:
-    """Append-only, CRC-checked, crash-tolerant event log.
+def journal_present(directory: os.PathLike) -> bool:
+    """True when the directory holds an active or closed journal segment."""
+    directory = Path(directory)
+    if (directory / JOURNAL_FILENAME).exists():
+        return True
+    if not directory.is_dir():
+        return False
+    return any(SEGMENT_PATTERN.match(name) for name in os.listdir(directory))
 
-    Appends are flushed and fsynced by default (``sync=False`` trades the
-    durability of the last few events for speed — useful in benchmarks).
+
+class SessionJournal:
+    """Append-only, CRC-checked, crash-tolerant, *segmented* event log.
+
+    Appends go to the active file (``journal.jsonl``) and are flushed and
+    fsynced by default (``sync=False`` trades the durability of the last
+    few events for speed — useful in benchmarks).  With a positive
+    ``segment_events`` the active file is rotated — atomically renamed to
+    ``journal-<first>-<last>.jsonl`` — once it holds that many events;
+    :meth:`compact_covered` then archives closed segments whose events a
+    snapshot (or the SQLite store) already covers.  ``segment_events=0``
+    (the constructor default) never rotates, which is the pre-segmentation
+    behavior.
     """
 
     def __init__(
-        self, directory: os.PathLike, sync: bool = True, start_seq: int = 1
+        self,
+        directory: os.PathLike,
+        sync: bool = True,
+        start_seq: int = 1,
+        segment_events: int = 0,
     ) -> None:
+        if segment_events < 0:
+            raise ValueError("segment_events must be non-negative (0 = no rotation)")
         self.directory = Path(directory)
         self.directory.mkdir(parents=True, exist_ok=True)
         self.path = self.directory / JOURNAL_FILENAME
         self.sync = sync
-        # Parse (and, if a crash left a torn tail line, repair) the file
-        # once; the journal is single-writer, so the cache stays accurate.
+        self.segment_events = segment_events
+        # Parse (and, if a crash left a torn tail line in the active file,
+        # repair) every segment once; the journal is single-writer, so the
+        # caches stay accurate.
+        self._segments: List[Tuple[int, int, Path]] = []
         self._events = self._scan_and_repair()
         self._next_seq = max(
             self._events[-1].seq + 1 if self._events else 1, start_seq
         )
+        # A crash may have interrupted the session between filling the
+        # active file and rotating it; finish the rotation now.
+        self._maybe_rotate()
 
     @property
     def last_seq(self) -> int:
@@ -162,14 +206,19 @@ class SessionJournal:
 
     @property
     def event_count(self) -> int:
-        """Number of valid events currently in the journal file."""
+        """Number of valid, non-archived events across all segments."""
         return len(self._events)
+
+    def segments(self) -> List[Tuple[int, int, Path]]:
+        """Closed (rotated, not yet archived) segments as ``(first, last, path)``."""
+        return list(self._segments)
 
     def append(self, event_type: str, payload: Dict[str, object]) -> int:
         """Append one event; returns its sequence number.
 
         The line is written, flushed and (by default) fsynced before the
-        call returns — the write-ahead rule callers rely on.
+        call returns — the write-ahead rule callers rely on.  May rotate
+        the active file afterwards (see ``segment_events``).
         """
         seq = self._next_seq
         line = json.dumps(
@@ -189,29 +238,138 @@ class SessionJournal:
                 os.fsync(handle.fileno())
         self._events.append(JournalEvent(seq=seq, type=event_type, payload=payload))
         self._next_seq += 1
+        if self._active_first_seq is None:
+            self._active_first_seq = seq
+        self._active_last_seq = seq
+        self._active_count += 1
+        self._maybe_rotate()
         return seq
 
     def events(self) -> List[JournalEvent]:
-        """All valid events, in order (a copy of the parsed cache).
+        """All valid non-archived events, in order (a copy of the cache).
 
-        A final line that failed to parse or checksum was treated as a
-        crash artifact and truncated away when the journal was opened; the
-        same failure on any earlier line raises
+        A final line of the *active* file that failed to parse or checksum
+        was treated as a crash artifact and truncated away when the
+        journal was opened; the same failure anywhere else — mid-stream in
+        the active file or anywhere in a closed segment — raises
         :class:`JournalCorruptionError`, and so do sequence-number gaps.
         """
         return list(self._events)
 
-    def _scan_and_repair(self) -> List[JournalEvent]:
-        """Parse the journal file, truncating a crash-torn tail line.
+    # ------------------------------------------------------------ lifecycle
+    def release_applied(self, covered_seq: int) -> None:
+        """Drop events at or below ``covered_seq`` from the in-memory cache.
 
-        A line torn by a crash mid-write (bad JSON or bad CRC, final line
-        only) is physically removed, not merely skipped: appending after a
-        skipped partial line would merge the new event into the garbage
-        bytes and silently lose it, breaking the write-ahead guarantee.
+        The on-disk files are untouched — this is the live session telling
+        the journal it will never re-read events it has already applied
+        (restore always re-scans the files in a fresh instance), so their
+        decoded payloads need not stay resident.  Without this a long
+        session would hold every record batch and vote payload it ever
+        journaled in RAM.  After a release, :meth:`events` and
+        :attr:`event_count` reflect only the retained tail; reopen the
+        directory to see everything.
         """
-        if not self.path.exists():
+        if self._events and self._events[0].seq <= covered_seq:
+            self._events = [
+                event for event in self._events if event.seq > covered_seq
+            ]
+
+    def set_segment_events(self, segment_events: int) -> None:
+        """Change the rotation threshold (rotating now if already over it).
+
+        Restore opens the journal before the session config is known (the
+        config may live in the journal's own first event), so the
+        configured threshold is applied after the fact.
+        """
+        if segment_events < 0:
+            raise ValueError("segment_events must be non-negative (0 = no rotation)")
+        self.segment_events = segment_events
+        self._maybe_rotate()
+
+    def _maybe_rotate(self) -> None:
+        if self.segment_events <= 0 or self._active_count < self.segment_events:
+            return
+        target = self.directory / (
+            f"journal-{self._active_first_seq:012d}-{self._active_last_seq:012d}.jsonl"
+        )
+        os.replace(self.path, target)
+        self._segments.append(
+            (self._active_first_seq, self._active_last_seq, target)
+        )
+        self._active_first_seq = None
+        self._active_last_seq = None
+        self._active_count = 0
+
+    def compact_covered(self, covered_seq: int) -> List[Path]:
+        """Archive every closed segment fully covered by ``covered_seq``.
+
+        A segment whose last event is at or below the covered sequence
+        (the position a snapshot or the SQLite store has durably applied)
+        is moved into ``archive/`` and dropped from the scan set — restore
+        never needs it again, but the audit trail survives on disk.
+        Segments with newer events, and the active file, are untouched.
+        Returns the archived paths.
+        """
+        archived: List[Path] = []
+        keep: List[Tuple[int, int, Path]] = []
+        for first, last, path in self._segments:
+            if last <= covered_seq:
+                archive_dir = self.directory / ARCHIVE_DIRNAME
+                archive_dir.mkdir(exist_ok=True)
+                target = archive_dir / path.name
+                os.replace(path, target)
+                archived.append(target)
+            else:
+                keep.append((first, last, path))
+        if archived:
+            self._segments = keep
+            first_kept = (
+                self._segments[0][0]
+                if self._segments
+                else (self._active_first_seq or self._next_seq)
+            )
+            self._events = [
+                event for event in self._events if event.seq >= first_kept
+            ]
+        return archived
+
+    # -------------------------------------------------------------- parsing
+    def _scan_and_repair(self) -> List[JournalEvent]:
+        """Parse all segments plus the active file, repairing a torn tail.
+
+        Closed segments were rotated whole, so they are parsed strictly —
+        any bad line is corruption.  Only the active file can carry a
+        crash-torn final line, which is physically removed, not merely
+        skipped: appending after a skipped partial line would merge the
+        new event into the garbage bytes and silently lose it, breaking
+        the write-ahead guarantee.
+        """
+        events: List[JournalEvent] = []
+        segment_names = sorted(
+            (int(match.group(1)), int(match.group(2)), name)
+            for name in os.listdir(self.directory)
+            if (match := SEGMENT_PATTERN.match(name))
+        )
+        for _, _, name in segment_names:
+            path = self.directory / name
+            parsed = self._parse_file(path, events, repair_tail=False)
+            if not parsed:
+                raise JournalCorruptionError(f"journal segment {name} is empty")
+            self._segments.append((parsed[0].seq, parsed[-1].seq, path))
+            events.extend(parsed)
+        active = self._parse_file(self.path, events, repair_tail=True)
+        self._active_count = len(active)
+        self._active_first_seq = active[0].seq if active else None
+        self._active_last_seq = active[-1].seq if active else None
+        events.extend(active)
+        return events
+
+    def _parse_file(
+        self, path: Path, prior: List[JournalEvent], repair_tail: bool
+    ) -> List[JournalEvent]:
+        if not path.exists():
             return []
-        with open(self.path, "r", encoding="utf-8") as handle:
+        with open(path, "r", encoding="utf-8") as handle:
             raw = handle.read()
         lines = raw.splitlines()
         events: List[JournalEvent] = []
@@ -228,18 +386,21 @@ class SessionJournal:
                 if crc != _line_crc(seq, event_type, payload):
                     raise ValueError("checksum mismatch")
             except (ValueError, KeyError, TypeError) as error:
-                if is_last:
+                if repair_tail and is_last:
                     break  # crash-truncated tail line: repaired below
                 raise JournalCorruptionError(
-                    f"journal line {index + 1} is corrupt mid-stream: {error}"
+                    f"{path.name} line {index + 1} is corrupt mid-stream: {error}"
                 ) from error
-            # The first event may start above 1 (a journal created after a
-            # snapshot-only restore fast-forwards past the snapshot's
-            # events); after that, sequence numbers must be gapless.
-            if events and seq != events[-1].seq + 1:
+            # The first event overall may start above 1 (a journal created
+            # after a snapshot-only restore, or whose oldest segments were
+            # archived, fast-forwards past the covered events); after that,
+            # sequence numbers must be gapless — including across the
+            # segment/active boundary.
+            previous = events[-1] if events else (prior[-1] if prior else None)
+            if previous is not None and seq != previous.seq + 1:
                 raise JournalCorruptionError(
-                    f"journal line {index + 1} has sequence {seq}, "
-                    f"expected {events[-1].seq + 1}"
+                    f"{path.name} line {index + 1} has sequence {seq}, "
+                    f"expected {previous.seq + 1}"
                 )
             events.append(JournalEvent(seq=seq, type=event_type, payload=payload))
             valid_bytes += len(line.encode("utf-8")) + 1
@@ -248,12 +409,12 @@ class SessionJournal:
         # newline (valid_bytes overcounts by the assumed "\n") gets one.
         raw_byte_count = len(raw.encode("utf-8"))
         if valid_bytes < raw_byte_count:
-            with open(self.path, "a+b") as handle:
+            with open(path, "a+b") as handle:
                 handle.truncate(valid_bytes)
                 handle.flush()
                 os.fsync(handle.fileno())
         elif valid_bytes > raw_byte_count:
-            with open(self.path, "ab") as handle:
+            with open(path, "ab") as handle:
                 handle.write(b"\n")
                 handle.flush()
                 os.fsync(handle.fileno())

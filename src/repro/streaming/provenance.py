@@ -14,15 +14,21 @@ the world).
 
 The ledger is part of every session checkpoint
 (:meth:`state_dict` / :meth:`from_state_dict`), so a restored session can
-keep retracting correctly.
+keep retracting correctly.  With a *persistent* storage backend every
+mutation is additionally mirrored into the store's provenance table —
+the provenance rows double as the **skip index** a page-in restore reads
+back (:meth:`from_store`) instead of replaying history.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Set, Tuple
 
 from repro.records.pairs import canonical_pair
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.storage.base import Store
 
 PairKey = Tuple[str, str]
 
@@ -88,11 +94,30 @@ class ProvenanceLedger:
     covers it and :meth:`record_votes` when a vote round is folded into the
     ledger.  :meth:`retract_record` removes a record and returns the
     invalidated region as a :class:`RetractionImpact`.
+
+    ``backing`` is an optional :class:`repro.storage.base.Store`; when it
+    is persistent, each mutated pair's full row is mirrored into the
+    store's provenance table (post-state writes, like the pair ledger), so
+    the table always equals the dicts at event boundaries.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, backing: Optional["Store"] = None) -> None:
         self._pairs: Dict[PairKey, PairProvenance] = {}
         self._pairs_of_record: Dict[str, Set[PairKey]] = {}
+        self._backing = (
+            backing if backing is not None and backing.persistent else None
+        )
+
+    def _mirror(self, key: PairKey) -> None:
+        if self._backing is None:
+            return
+        provenance = self._pairs[key]
+        self._backing.prov_write(
+            key,
+            provenance.discovered_batch,
+            provenance.hit_ids,
+            provenance.vote_events,
+        )
 
     # ------------------------------------------------------------ recording
     def add_record(self, record_id: str) -> None:
@@ -104,6 +129,7 @@ class ProvenanceLedger:
         key = canonical_pair(id_a, id_b)
         if key not in self._pairs:
             self._pairs[key] = PairProvenance(key=key, discovered_batch=batch_index)
+            self._mirror(key)
         self._pairs_of_record.setdefault(id_a, set()).add(key)
         self._pairs_of_record.setdefault(id_b, set()).add(key)
 
@@ -112,6 +138,7 @@ class ProvenanceLedger:
         provenance = self._pairs.get(key)
         if provenance is not None and hit_id not in provenance.hit_ids:
             provenance.hit_ids.append(hit_id)
+            self._mirror(key)
 
     def record_votes(
         self, key: PairKey, batch_index: int, round_index: int, vote_count: int
@@ -120,6 +147,7 @@ class ProvenanceLedger:
         provenance = self._pairs.get(key)
         if provenance is not None:
             provenance.vote_events.append((batch_index, round_index, vote_count))
+            self._mirror(key)
 
     # -------------------------------------------------------------- queries
     def __contains__(self, key: object) -> bool:
@@ -157,6 +185,8 @@ class ProvenanceLedger:
             neighbor_pairs = self._pairs_of_record.get(other)
             if neighbor_pairs is not None:
                 neighbor_pairs.discard(key)
+        if self._backing is not None and dropped:
+            self._backing.prov_delete(dropped)
         return impact
 
     # -------------------------------------------------------- serialization
@@ -180,9 +210,16 @@ class ProvenanceLedger:
         }
 
     @classmethod
-    def from_state_dict(cls, state: Dict[str, object]) -> "ProvenanceLedger":
-        """Rebuild a ledger from :meth:`state_dict` output."""
-        ledger = cls()
+    def from_state_dict(
+        cls, state: Dict[str, object], backing: Optional["Store"] = None
+    ) -> "ProvenanceLedger":
+        """Rebuild a ledger from :meth:`state_dict` output.
+
+        With a persistent ``backing`` the loaded rows are re-mirrored into
+        its provenance table (the caller resets the store first, as in any
+        full state reload).
+        """
+        ledger = cls(backing=backing)
         for record_id in state["records"]:  # type: ignore[union-attr]
             ledger.add_record(record_id)
         for key, (discovered, hit_ids, vote_events) in state["pairs"].items():  # type: ignore[union-attr]
@@ -191,6 +228,31 @@ class ProvenanceLedger:
                 discovered_batch=discovered,
                 hit_ids=list(hit_ids),
                 vote_events=list(vote_events),
+            )
+            ledger._pairs_of_record.setdefault(key[0], set()).add(key)
+            ledger._pairs_of_record.setdefault(key[1], set()).add(key)
+            ledger._mirror(key)
+        return ledger
+
+    @classmethod
+    def from_store(cls, storage: "Store") -> "ProvenanceLedger":
+        """Page the ledger back in from a persistent store.
+
+        Resident records seed the inverted index (so ``pairs_of`` works
+        for pair-less records, exactly as after live ``add_record`` calls),
+        then the stored provenance rows are loaded verbatim — without
+        re-mirroring what was just read.
+        """
+        ledger = cls(backing=storage)
+        for record_id in storage.record_ids():
+            ledger.add_record(record_id)
+        rows = storage.load_provenance() or []
+        for key, discovered, hit_ids, vote_events in rows:
+            ledger._pairs[key] = PairProvenance(
+                key=key,
+                discovered_batch=discovered,
+                hit_ids=list(hit_ids),
+                vote_events=[tuple(event) for event in vote_events],
             )
             ledger._pairs_of_record.setdefault(key[0], set()).add(key)
             ledger._pairs_of_record.setdefault(key[1], set()).add(key)

@@ -77,11 +77,35 @@ from repro.datasets.base import Dataset
 from repro.graph.union_find import IncrementalUnionFind
 from repro.records.pairs import PairSet, RecordPair, canonical_pair
 from repro.records.record import Record, RecordError, RecordStore
+from repro.storage import STORE_FILENAME, SqliteStore, open_store
 from repro.streaming import persistence
 from repro.streaming.incremental_join import IncrementalSimJoin
 from repro.streaming.provenance import ProvenanceLedger
 
 PairKey = Tuple[str, str]
+
+#: Config fields that change *what a session computes* (as opposed to how
+#: fast or how durably).  Restoring a checkpoint under a config that
+#: differs on any of these cannot be bit-identical, so restore() re-joins:
+#: it harvests the records and truth from the old session, archives the
+#: old artifacts and re-ingests everything under the new config.
+RESULT_CONFIG_FIELDS = (
+    "likelihood_threshold",
+    "similarity_attributes",
+    "hit_type",
+    "cluster_size",
+    "pairs_per_hit",
+    "cluster_generator",
+    "packing_method",
+    "assignments_per_hit",
+    "use_qualification_test",
+    "aggregation",
+    "decision_threshold",
+    "recrowd_policy",
+    "streaming_aggregation_scope",
+    "staleness_epsilon",
+    "seed",
+)
 
 
 class StreamingResolver:
@@ -119,6 +143,7 @@ class StreamingResolver:
         worker_pool: Optional[WorkerPool] = None,
         pricing: Optional[PricingModel] = None,
         latency: Optional[LatencyModel] = None,
+        _resume_storage: bool = False,
     ) -> None:
         self.config = config or WorkflowConfig()
         self.cross_sources = cross_sources
@@ -140,30 +165,40 @@ class StreamingResolver:
                 seed=self.config.seed,
                 vote_mode="per-pair",
             )
+        # Storage backend: every piece of accumulated state lives behind
+        # it.  The memory backend is the pre-existing in-process state;
+        # the sqlite backend mirrors each event into one WAL-mode file
+        # (committed per event), which makes restore a page-in.
+        storage_path = self.config.storage_path
+        if (
+            self.config.storage_backend == "sqlite"
+            and storage_path is None
+            and self.config.checkpoint_dir
+        ):
+            storage_path = str(Path(self.config.checkpoint_dir) / STORE_FILENAME)
+        self.storage = open_store(self.config.storage_backend, storage_path)
+        if (
+            self.storage.persistent
+            and not _resume_storage
+            and self.storage.get_meta("version") is not None
+        ):
+            raise persistence.PersistenceError(
+                f"store {storage_path} already holds a session; "
+                "use StreamingResolver.restore() to resume it"
+            )
         self.join = IncrementalSimJoin(
             threshold=self.config.likelihood_threshold,
             attributes=self.config.similarity_attributes,
             backend=self.config.join_backend,
             cross_sources=cross_sources,
             workers=self.config.join_workers or None,
+            storage=self.storage,
         )
-        self.store = RecordStore(name="stream")
+        self.store = RecordStore(name="stream", backing=self.storage)
         self.components = IncrementalUnionFind()
         self.candidates = PairSet()
-        self.provenance = ProvenanceLedger()
+        self.provenance = ProvenanceLedger(backing=self.storage)
         self._truth: Set[PairKey] = set()
-        # Vote ledger: per-pair votes in oracle order, plus the number of
-        # completed crowd rounds (0 = never asked).
-        self._votes: Dict[PairKey, List[Vote]] = {}
-        self._vote_rounds: Dict[PairKey, int] = {}
-        # Votes gained per pair since that pair was last folded into the
-        # posterior cache, for the bounded-staleness aggregation check
-        # (config.staleness_epsilon).  Zeroed per pair on aggregation, so a
-        # cached posterior is never more than epsilon votes behind the
-        # ledger of its component.
-        self._pending_votes: Dict[PairKey, int] = {}
-        self._posteriors: Dict[PairKey, float] = {}
-        self._covered: Set[PairKey] = set()
         # Accumulated crowd workload across all batches.
         self._hit_count = 0
         self._cost = 0.0
@@ -173,8 +208,11 @@ class StreamingResolver:
         self._batch_index = 0
         self._last_delta = StreamingDelta()
         # Fresh votes folded in by the most recent applied event (journaled
-        # by the commit outcome record and verified during replay).
-        self._last_fresh_votes: Dict[PairKey, List[Vote]] = {}
+        # by the commit outcome record and verified during replay).  ``None``
+        # is the page-in sentinel: a session rebuilt from a persistent store
+        # cannot know which votes its last event folded in, so the first
+        # replayed commit record is verified by digest only.
+        self._last_fresh_votes: Optional[Dict[PairKey, List[Vote]]] = {}
         # Durability: write-ahead journal + snapshot cadence.
         self._journal: Optional[persistence.SessionJournal] = None
         self._events_applied = 0
@@ -182,7 +220,9 @@ class StreamingResolver:
         self._replaying = False
         if self.config.checkpoint_dir:
             directory = Path(self.config.checkpoint_dir)
-            journal = persistence.SessionJournal(directory)
+            journal = persistence.SessionJournal(
+                directory, segment_events=self.config.journal_segment_events
+            )
             if persistence.load_latest_snapshot(directory) is not None or journal.event_count:
                 raise persistence.PersistenceError(
                     f"checkpoint directory {directory} already holds a session; "
@@ -197,6 +237,50 @@ class StreamingResolver:
                     "cross_sources": list(cross_sources) if cross_sources else None,
                 },
             )
+        if self.storage.persistent and not _resume_storage:
+            self._mirror_config_meta()
+            self._mirror_session_meta()
+            self.storage.commit()
+
+    # ----------------------------------------------------------- hot ledger
+    # The vote/posterior/coverage state lives in the storage backend's
+    # PairLedger.  Reads stay plain dict access through these views (the
+    # session's inner loops touch them constantly); every mutation goes
+    # through a ledger *method*, which the SQLite backend overrides to
+    # mirror the post-state into its tables.
+    @property
+    def _ledger(self):
+        return self.storage.ledger
+
+    @property
+    def _votes(self) -> Dict[PairKey, List[Vote]]:
+        """Per-pair votes in oracle order (ledger view)."""
+        return self.storage.ledger.votes
+
+    @property
+    def _vote_rounds(self) -> Dict[PairKey, int]:
+        """Completed crowd rounds per pair, 0 = never asked (ledger view)."""
+        return self.storage.ledger.vote_rounds
+
+    @property
+    def _pending_votes(self) -> Dict[PairKey, int]:
+        """Votes gained per pair since its last aggregation (ledger view).
+
+        Drives the bounded-staleness check (``config.staleness_epsilon``);
+        zeroed per pair on aggregation, so a cached posterior is never more
+        than epsilon votes behind the ledger of its component.
+        """
+        return self.storage.ledger.pending_votes
+
+    @property
+    def _posteriors(self) -> Dict[PairKey, float]:
+        """The aggregated posterior cache (ledger view)."""
+        return self.storage.ledger.posteriors
+
+    @property
+    def _covered(self) -> Set[PairKey]:
+        """Pairs covered by at least one published HIT (ledger view)."""
+        return self.storage.ledger.covered
 
     # -------------------------------------------------------------- queries
     @property
@@ -241,6 +325,9 @@ class StreamingResolver:
         pairs = sorted({canonical_pair(a, b) for a, b in true_matches})
         self._journal_intent("truth", {"pairs": [list(pair) for pair in pairs]})
         self._apply_truth(pairs)
+        self._finish_event()
+        if self._journal is not None and not self._replaying:
+            self._journal.release_applied(self._events_applied)
 
     def add_batch(
         self,
@@ -272,6 +359,7 @@ class StreamingResolver:
             payload["truth"] = [list(pair) for pair in truth_pairs]
         self._journal_intent("batch", payload)
         result = self._apply_batch(batch, truth_pairs)
+        self._finish_event()
         self._journal_commit()
         self._maybe_autosave()
         return result
@@ -299,6 +387,7 @@ class StreamingResolver:
             raise RecordError(f"unknown record id: {record_id!r}")
         self._journal_intent("retract", {"record_id": record_id})
         result = self._apply_retract(record_id)
+        self._finish_event()
         self._journal_commit()
         self._maybe_autosave()
         return result
@@ -319,6 +408,7 @@ class StreamingResolver:
             raise RecordError(f"unknown record id: {record.record_id!r}")
         self._journal_intent("update", {"record": persistence.encode_record(record)})
         result = self._apply_update(record)
+        self._finish_event()
         self._journal_commit()
         self._maybe_autosave()
         return result
@@ -334,6 +424,7 @@ class StreamingResolver:
         """
         self._journal_intent("flush", {})
         result = self._apply_flush()
+        self._finish_event()
         self._journal_commit()
         self._maybe_autosave()
         return result
@@ -341,6 +432,10 @@ class StreamingResolver:
     # ------------------------------------------------------- event appliers
     def _apply_truth(self, pairs: Iterable[Sequence[str]]) -> None:
         self._truth.update((pair[0], pair[1]) for pair in pairs)
+        if self.storage.persistent:
+            self.storage.set_meta(
+                "truth", sorted(list(pair) for pair in self._truth)
+            )
 
     def _apply_batch(
         self,
@@ -364,6 +459,7 @@ class StreamingResolver:
         # Stage 2: component maintenance (and pair provenance).
         for pair in new_pairs:
             self.candidates.add(pair)
+            self._ledger.add_pair(pair.key, pair.likelihood)
             self.components.union(pair.id_a, pair.id_b)
             self.provenance.record_pair(pair.id_a, pair.id_b, self._batch_index)
 
@@ -400,11 +496,7 @@ class StreamingResolver:
         self.store.remove(record_id)
         for key in impact.dropped_pairs:
             self.candidates.discard(*key)
-            self._votes.pop(key, None)
-            self._vote_rounds.pop(key, None)
-            self._pending_votes.pop(key, None)
-            self._posteriors.pop(key, None)
-            self._covered.discard(key)
+            self._ledger.drop_pair(key)
         delta.invalidated_pairs = len(impact.dropped_pairs)
 
         # Re-form the dissolved component from the surviving edges; the
@@ -458,9 +550,8 @@ class StreamingResolver:
             voted = [key for key in sorted(keys) if key in self._votes]
             aggregator = build_aggregator(self.config)
             for key, posterior in aggregator.aggregate(self._ledger_votes(voted)).items():
-                self._posteriors[key] = posterior
-            for key in voted:
-                self._pending_votes.pop(key, None)
+                self._ledger.set_posterior(key, posterior)
+            self._ledger.clear_pending(voted)
         return self.snapshot()
 
     # ----------------------------------------------------------- durability
@@ -469,6 +560,42 @@ class StreamingResolver:
         if payload.get("similarity_attributes") is not None:
             payload["similarity_attributes"] = list(payload["similarity_attributes"])
         return payload
+
+    def _mirror_config_meta(self) -> None:
+        """Write the session-identifying metadata into a persistent store."""
+        self.storage.set_meta("version", persistence.FORMAT_VERSION)
+        self.storage.set_meta("config", self._config_payload())
+        self.storage.set_meta(
+            "cross_sources", list(self.cross_sources) if self.cross_sources else None
+        )
+        self.storage.set_meta("truth", sorted(list(pair) for pair in self._truth))
+
+    def _mirror_session_meta(self) -> None:
+        """Mirror the crowd-workload counters and the journal position."""
+        self.storage.set_meta(
+            "session",
+            {
+                "hit_count": self._hit_count,
+                "cost": self._cost,
+                "batch_index": self._batch_index,
+                "pairs_per_hit_seen": self._pairs_per_hit_seen,
+                "generator_name": self._generator_name,
+                "last_delta": self._last_delta.as_dict(),
+            },
+        )
+        self.storage.set_meta("events_applied", self._events_applied)
+
+    def _finish_event(self) -> None:
+        """Event boundary of a persistent store: counters plus one commit.
+
+        All mirrored writes since the last boundary form one transaction;
+        committing here means a crash mid-event rolls the store back to the
+        previous event and the journal replays the interrupted one.
+        """
+        if not self.storage.persistent:
+            return
+        self._mirror_session_meta()
+        self.storage.commit()
 
     def _journal_intent(self, event_type: str, payload: Dict[str, object]) -> None:
         """Write-ahead rule: record the intent before touching state."""
@@ -489,6 +616,9 @@ class StreamingResolver:
             "digest": self.state_digest(),
         }
         self._events_applied = self._journal.append("commit", payload)
+        # Applied events are never re-read from this live instance (restore
+        # re-scans the files), so their payloads need not stay resident.
+        self._journal.release_applied(self._events_applied)
 
     def _maybe_autosave(self) -> None:
         if self._journal is None or self._replaying:
@@ -499,16 +629,38 @@ class StreamingResolver:
             self.save()
 
     def save(self, path: Optional[str] = None) -> Path:
-        """Write a compacted snapshot of the full session state.
+        """Checkpoint the session and retire the journal it covers.
 
-        ``path`` defaults to ``config.checkpoint_dir``.  The snapshot is
-        self-contained (it embeds the config), written atomically, and
-        tagged with the journal position it reflects — restoring loads it
-        and replays only the journal tail.  Returns the snapshot path.
+        With the in-memory backend this writes a compacted snapshot of the
+        full session state: self-contained (it embeds the config), written
+        atomically, tagged with the journal position it reflects — restoring
+        loads it and replays only the journal tail.  ``path`` defaults to
+        ``config.checkpoint_dir``.
+
+        With a persistent storage backend there is nothing to snapshot —
+        the store already holds every committed event — so ``save()``
+        commits the store and returns its path instead.
+
+        Either way, closed journal segments fully covered by the checkpoint
+        are archived (:meth:`~repro.streaming.persistence.SessionJournal.compact_covered`),
+        so the journal directory stops growing without bound.  Returns the
+        snapshot (or store) path.
         """
         directory = Path(path) if path is not None else (
             Path(self.config.checkpoint_dir) if self.config.checkpoint_dir else None
         )
+        if self.storage.persistent:
+            self.storage.commit()
+            if (
+                directory is not None
+                and self._journal is not None
+                and directory == self._journal.directory
+            ):
+                self._mutations_since_snapshot = 0
+                self._journal.compact_covered(
+                    int(self.storage.get_meta("events_applied", 0))
+                )
+            return Path(self.storage.path)
         if directory is None:
             raise persistence.PersistenceError(
                 "save() needs a path (or config.checkpoint_dir to be set)"
@@ -518,6 +670,7 @@ class StreamingResolver:
         )
         if self._journal is not None and directory == self._journal.directory:
             self._mutations_since_snapshot = 0
+            self._journal.compact_covered(self._events_applied)
         return target
 
     @classmethod
@@ -544,20 +697,35 @@ class StreamingResolver:
         one that processed the same events without stopping, and (with
         ``resume_journal``) keeps journaling to the same directory.
 
-        ``config`` overrides the stored configuration (rarely needed — the
-        snapshot and the journal header both embed it).
+        ``config`` overrides the stored configuration.  When the override
+        differs on a field that changes *what the session computes* (see
+        ``RESULT_CONFIG_FIELDS``), a bit-identical resume is impossible —
+        instead of refusing, restore archives the old artifacts and
+        **re-joins**: the stored records and truth are re-ingested from
+        scratch under the new configuration (a fresh durable session in the
+        same directory).
         """
         directory = Path(path)
         snapshot = persistence.load_latest_snapshot(directory)
         journal = (
             persistence.SessionJournal(directory)
-            if (directory / persistence.JOURNAL_FILENAME).exists()
+            if persistence.journal_present(directory)
             else None
         )
         events = journal.events() if journal is not None else []
-        if snapshot is None and not events:
+        store_path = directory / STORE_FILENAME
+        store_config: Optional[Dict[str, object]] = None
+        store_cross: Optional[Sequence[str]] = None
+        if store_path.exists():
+            probe = SqliteStore(store_path)
+            try:
+                store_config = probe.get_meta("config")  # type: ignore[assignment]
+                store_cross = probe.get_meta("cross_sources")  # type: ignore[assignment]
+            finally:
+                probe.close()
+        if snapshot is None and not events and store_config is None:
             raise persistence.PersistenceError(
-                f"{directory} contains neither a snapshot nor a journal"
+                f"{directory} contains neither a snapshot, a journal nor a store"
             )
 
         state: Optional[Dict[str, object]] = None
@@ -571,24 +739,48 @@ class StreamingResolver:
         elif events and events[0].type == "session":
             stored_config = events[0].payload["config"]  # type: ignore[assignment]
             cross_sources = events[0].payload["cross_sources"]  # type: ignore[assignment]
+        elif store_config is not None:
+            stored_config = store_config
+            cross_sources = store_cross
         if config is None:
             if stored_config is None:
                 raise persistence.PersistenceError(
                     "no stored configuration found; pass config= explicitly"
                 )
             config = WorkflowConfig(**stored_config)
+        elif stored_config is not None and cls._result_config_changed(
+            config, stored_config
+        ):
+            return cls._restore_rejoin(
+                directory,
+                config,
+                platform=platform,
+                worker_pool=worker_pool,
+                pricing=pricing,
+                latency=latency,
+            )
 
+        resolver_config = replace(config, checkpoint_dir=None)
+        if config.storage_backend == "sqlite" and config.storage_path is None:
+            resolver_config = replace(resolver_config, storage_path=str(store_path))
         resolver = cls(
-            config=replace(config, checkpoint_dir=None),
+            config=resolver_config,
             cross_sources=tuple(cross_sources) if cross_sources else None,  # type: ignore[arg-type]
             platform=platform,
             worker_pool=worker_pool,
             pricing=pricing,
             latency=latency,
+            _resume_storage=True,
         )
-        if state is not None:
+        # A persistent store that already holds the session wins over any
+        # snapshot: it is committed per event, so it is always at least as
+        # recent, and paging it in skips unpickling the whole state.
+        if resolver.storage.persistent and resolver.storage.get_meta("version") is not None:
+            resolver._page_in()
+            applied = resolver._events_applied
+        elif state is not None:
             resolver.load_state_dict(state)
-        resolver._events_applied = applied
+            resolver._events_applied = applied
 
         resolver._replaying = True
         try:
@@ -599,15 +791,142 @@ class StreamingResolver:
                 resolver._events_applied = event.seq
         finally:
             resolver._replaying = False
+        if resolver._last_fresh_votes is None:
+            resolver._last_fresh_votes = {}
 
         if resume_journal:
-            resolver.config = replace(config, checkpoint_dir=str(directory))
-            resolver._journal = journal or persistence.SessionJournal(
-                directory, start_seq=applied + 1
-            )
+            resolver.config = replace(resolver_config, checkpoint_dir=str(directory))
         else:
-            resolver.config = replace(config, checkpoint_dir=None)
+            resolver.config = replace(resolver_config, checkpoint_dir=None)
+        if resolver.storage.persistent:
+            resolver._mirror_config_meta()
+        resolver._finish_event()
+        if resume_journal:
+            if journal is None:
+                journal = persistence.SessionJournal(
+                    directory,
+                    start_seq=resolver._events_applied + 1,
+                    segment_events=config.journal_segment_events,
+                )
+            else:
+                journal.set_segment_events(config.journal_segment_events)
+            resolver._journal = journal
         return resolver
+
+    @staticmethod
+    def _result_config_changed(
+        new: WorkflowConfig, stored: Dict[str, object]
+    ) -> bool:
+        """True when ``new`` differs from ``stored`` on a result-bearing field."""
+        payload = asdict(new)
+
+        def norm(value: object) -> object:
+            return list(value) if isinstance(value, (list, tuple)) else value
+
+        return any(
+            norm(payload.get(name)) != norm(stored.get(name))
+            for name in RESULT_CONFIG_FIELDS
+        )
+
+    @classmethod
+    def _restore_rejoin(
+        cls,
+        directory: Path,
+        config: WorkflowConfig,
+        platform: Optional[SimulatedCrowdPlatform] = None,
+        worker_pool: Optional[WorkerPool] = None,
+        pricing: Optional[PricingModel] = None,
+        latency: Optional[LatencyModel] = None,
+    ) -> "StreamingResolver":
+        """Restore under a *changed* result config: harvest, archive, re-join.
+
+        The old session is restored under its own stored configuration
+        (digest verification still applies) just long enough to harvest its
+        records, ground truth and source restriction; its artifacts —
+        journal, segments, snapshots, store — move to
+        ``archive/rejoin-<events>/``; then a fresh durable session in the
+        same directory re-ingests everything under the new configuration in
+        ``stream_batch_size`` chunks.
+        """
+        old = cls.restore(str(directory), verify=True, resume_journal=False)
+        records = list(old.store)
+        truth = sorted(old._truth)
+        cross_sources = old.cross_sources
+        applied = old._events_applied
+        old.storage.close()
+
+        bucket = directory / persistence.ARCHIVE_DIRNAME / f"rejoin-{applied:012d}"
+        bucket.mkdir(parents=True, exist_ok=True)
+        for item in sorted(directory.iterdir()):
+            name = item.name
+            if (
+                name == persistence.JOURNAL_FILENAME
+                or persistence.SEGMENT_PATTERN.match(name)
+                or persistence.SNAPSHOT_PATTERN.match(name)
+                or name == STORE_FILENAME
+                or name.startswith(STORE_FILENAME + "-")
+            ):
+                item.replace(bucket / name)
+
+        resolver = cls(
+            config=replace(config, checkpoint_dir=str(directory)),
+            cross_sources=cross_sources,
+            platform=platform,
+            worker_pool=worker_pool,
+            pricing=pricing,
+            latency=latency,
+        )
+        if truth:
+            resolver.add_truth(truth)
+        size = max(1, config.stream_batch_size)
+        for start in range(0, len(records), size):
+            resolver.add_batch(records[start : start + size])
+        return resolver
+
+    def _page_in(self) -> None:
+        """Rebuild the session from a persistent store's committed state.
+
+        The inverse of the per-event mirror writes: records and the ledger
+        are already resident (the store loads its ledger dicts on open),
+        so this re-derives only the in-process structures — the join
+        substrate from its stored rows/vocabulary/CSR chunks, provenance
+        from its table, candidates from the pair ledger, and the union-find
+        forest from record arrival order plus the pair edges (roots only
+        serve as grouping keys, so the rebuilt forest is behaviorally
+        equivalent to the original).
+        """
+        storage = self.storage
+        truth = storage.get_meta("truth") or []
+        self._truth = {(pair[0], pair[1]) for pair in truth}
+        self.join = IncrementalSimJoin.from_store(
+            storage,
+            threshold=self.config.likelihood_threshold,
+            attributes=self.config.similarity_attributes,
+            backend=self.config.join_backend,
+            cross_sources=self.cross_sources,
+            workers=self.config.join_workers or None,
+        )
+        self.provenance = ProvenanceLedger.from_store(storage)
+        self.candidates = PairSet(
+            RecordPair(key[0], key[1], likelihood=likelihood)
+            for key, likelihood in storage.ledger.pairs.items()
+        )
+        self.components = IncrementalUnionFind()
+        for record_id in storage.record_ids():
+            self.components.add(record_id)
+        for key in sorted(storage.ledger.pairs):
+            self.components.union(key[0], key[1])
+        self.components.clear_dirty()
+        session_meta = storage.get_meta("session") or {}
+        self._hit_count = int(session_meta.get("hit_count", 0))
+        self._cost = session_meta.get("cost", 0.0)
+        self._assignment_seconds = storage.load_assignment_seconds()
+        self._pairs_per_hit_seen = session_meta.get("pairs_per_hit_seen")
+        self._generator_name = session_meta.get("generator_name", "")
+        self._batch_index = int(session_meta.get("batch_index", 0))
+        self._last_delta = StreamingDelta(**session_meta.get("last_delta", {}))
+        self._events_applied = int(storage.get_meta("events_applied", 0))
+        self._last_fresh_votes = None
 
     def _apply_journal_event(self, event: "persistence.JournalEvent", verify: bool) -> None:
         """Replay one journal event against the current state."""
@@ -635,18 +954,23 @@ class StreamingResolver:
             return
         if event.type == "commit":
             if verify:
-                recorded = {
-                    (entry[0], entry[1]): persistence.decode_votes(entry[2])
-                    for entry in payload["votes"]
-                }
-                if recorded != self._last_fresh_votes:
-                    raise persistence.JournalCorruptionError(
-                        f"votes replayed for event {event.seq} differ from the journal"
-                    )
+                # After a page-in the fresh votes of the last committed
+                # event are unknowable (sentinel None) — the digest check
+                # below still pins the full aggregated state.
+                if self._last_fresh_votes is not None:
+                    recorded = {
+                        (entry[0], entry[1]): persistence.decode_votes(entry[2])
+                        for entry in payload["votes"]
+                    }
+                    if recorded != self._last_fresh_votes:
+                        raise persistence.JournalCorruptionError(
+                            f"votes replayed for event {event.seq} differ from the journal"
+                        )
                 if payload["digest"] != self.state_digest():
                     raise persistence.JournalCorruptionError(
                         f"state digest after event {event.seq} differs from the journal"
                     )
+            self._last_fresh_votes = {}
             return
         raise persistence.JournalCorruptionError(
             f"unknown journal event type {event.type!r} at sequence {event.seq}"
@@ -693,33 +1017,56 @@ class StreamingResolver:
         }
 
     def load_state_dict(self, state: Dict[str, object]) -> None:
-        """Replace the session state with :meth:`state_dict` output."""
+        """Replace the session state with :meth:`state_dict` output.
+
+        A persistent storage backend is wiped and fully re-mirrored: after
+        the load its tables equal the loaded state exactly, as if the
+        session had been stored there all along.
+        """
         if state.get("version") != persistence.FORMAT_VERSION:
             raise persistence.PersistenceError(
                 f"unsupported session state version {state.get('version')!r}"
             )
-        self.store = RecordStore.from_records(state["records"], name="stream")  # type: ignore[arg-type]
+        self.storage.reset()
+        self.store = RecordStore(name="stream", backing=self.storage)
+        for record in state["records"]:  # type: ignore[union-attr]
+            self.store.add(record)
         self._truth = set(state["truth"])  # type: ignore[arg-type]
-        self.join = IncrementalSimJoin.from_state_dict(state["join"])  # type: ignore[arg-type]
+        self.join = IncrementalSimJoin.from_state_dict(
+            state["join"], storage=self.storage  # type: ignore[arg-type]
+        )
         self.components = IncrementalUnionFind.from_state_dict(state["components"])  # type: ignore[arg-type]
-        self.provenance = ProvenanceLedger.from_state_dict(state["provenance"])  # type: ignore[arg-type]
+        self.provenance = ProvenanceLedger.from_state_dict(
+            state["provenance"], backing=self.storage  # type: ignore[arg-type]
+        )
         self.candidates = PairSet(
             RecordPair(id_a, id_b, likelihood=likelihood)
             for id_a, id_b, likelihood in state["candidates"]  # type: ignore[union-attr]
         )
-        self._votes = {key: list(votes) for key, votes in state["votes"].items()}  # type: ignore[union-attr]
-        self._vote_rounds = dict(state["vote_rounds"])  # type: ignore[arg-type]
-        self._pending_votes = dict(state["pending_votes"])  # type: ignore[arg-type]
-        self._posteriors = dict(state["posteriors"])  # type: ignore[arg-type]
-        self._covered = set(state["covered"])  # type: ignore[arg-type]
+        self.storage.ledger.load_bulk(
+            pairs={
+                (id_a, id_b): likelihood
+                for id_a, id_b, likelihood in state["candidates"]  # type: ignore[union-attr]
+            },
+            votes={key: list(votes) for key, votes in state["votes"].items()},  # type: ignore[union-attr]
+            vote_rounds=dict(state["vote_rounds"]),  # type: ignore[arg-type]
+            pending_votes=dict(state["pending_votes"]),  # type: ignore[arg-type]
+            posteriors=dict(state["posteriors"]),  # type: ignore[arg-type]
+            covered=set(state["covered"]),  # type: ignore[arg-type]
+        )
         self._hit_count = state["hit_count"]  # type: ignore[assignment]
         self._cost = state["cost"]  # type: ignore[assignment]
         self._assignment_seconds = list(state["assignment_seconds"])  # type: ignore[arg-type]
+        self.storage.append_assignment_seconds(self._assignment_seconds)
         self._pairs_per_hit_seen = state["pairs_per_hit_seen"]  # type: ignore[assignment]
         self._generator_name = state["generator_name"]  # type: ignore[assignment]
         self._batch_index = state["batch_index"]  # type: ignore[assignment]
         self._last_delta = StreamingDelta(**state["last_delta"])  # type: ignore[arg-type]
         self._last_fresh_votes = {}
+        if self.storage.persistent:
+            self._mirror_config_meta()
+            self._mirror_session_meta()
+            self.storage.commit()
 
     # ------------------------------------------------------------ internals
     def _crowdsource_dirty(self, dirty_pairs: Set[PairKey], delta: StreamingDelta) -> None:
@@ -753,7 +1100,7 @@ class StreamingResolver:
             candidate_pairs=to_vote,
             vote_rounds=rounds,
         )
-        self._covered.update(batch_hits.covered_pairs())
+        self._ledger.mark_covered(batch_hits.covered_pairs())
         # Pair provenance: which HITs of which batch covered each pair.
         for hit in batch_hits.hits:
             hit_id = f"b{self._batch_index}:{hit.hit_id}"
@@ -768,9 +1115,7 @@ class StreamingResolver:
         for vote in crowd_run.votes:
             fresh.setdefault(vote[1], []).append(vote)
         for key, votes in fresh.items():
-            self._votes[key] = votes
-            self._vote_rounds[key] = self._vote_rounds.get(key, 0) + 1
-            self._pending_votes[key] = self._pending_votes.get(key, 0) + len(votes)
+            self._ledger.record_fresh_votes(key, votes)
             self.provenance.record_votes(
                 key, self._batch_index, rounds.get(key, 0), len(votes)
             )
@@ -779,6 +1124,7 @@ class StreamingResolver:
         self._hit_count += crowd_run.hit_count
         self._cost += crowd_run.cost
         self._assignment_seconds.extend(crowd_run.assignment_seconds)
+        self.storage.append_assignment_seconds(crowd_run.assignment_seconds)
         if self.config.hit_type == "pair" and batch_hits.hits:
             largest = batch_hits.max_hit_size()
             if self._pairs_per_hit_seen is None or largest > self._pairs_per_hit_seen:
@@ -802,8 +1148,10 @@ class StreamingResolver:
         aggregator = build_aggregator(self.config)
         if self.config.streaming_aggregation_scope == "global":
             votes = self._ledger_votes(self._votes.keys())
-            self._posteriors = dict(aggregator.aggregate(votes)) if votes else {}
-            self._pending_votes.clear()
+            self._ledger.replace_posteriors(
+                dict(aggregator.aggregate(votes)) if votes else {}
+            )
+            self._ledger.clear_all_pending()
             return
         # Component scope: only the dirty region is re-aggregated; posteriors
         # of clean components are carried over untouched.
@@ -817,9 +1165,8 @@ class StreamingResolver:
             return
         votes = self._ledger_votes(voted_dirty)
         for key, posterior in aggregator.aggregate(votes).items():
-            self._posteriors[key] = posterior
-        for key in voted_dirty:
-            self._pending_votes.pop(key, None)
+            self._ledger.set_posterior(key, posterior)
+        self._ledger.clear_pending(voted_dirty)
 
     def _drop_stale_components(
         self, voted_dirty: List[PairKey], delta: StreamingDelta

@@ -1,0 +1,719 @@
+"""Tests for the pluggable storage layer (repro.storage).
+
+The central contract: a streaming session backed by the SQLite store is
+**bit-identical** to one backed by process memory — same matches, same
+posteriors to the last float bit, same digests — for any schedule of
+batches, retractions, updates, flushes and crashes, and restoring a
+SQLite-backed session is a *page-in* of committed state (plus a short
+journal-tail replay) rather than a full journal replay.  On top of that,
+the journal lifecycle (segment rotation, archival compaction) must never
+lose an event, and restoring onto a *changed* result config re-joins the
+stored records instead of refusing.
+"""
+
+import os
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import WorkflowConfig
+from repro.datasets.restaurant import RestaurantGenerator
+from repro.hit.pair_generation import PairHITGenerator
+from repro.records.pairs import PairSet, RecordPair
+from repro.records.record import Record, RecordStore
+from repro.simjoin.columnar import argsort_descending
+from repro.storage import MemoryStore, SqliteStore, StorageError, open_store
+from repro.storage.sqlite import STORE_FILENAME
+from repro.streaming import PersistenceError, StreamingResolver
+from repro.streaming.persistence import (
+    ARCHIVE_DIRNAME,
+    JOURNAL_FILENAME,
+    SEGMENT_PATTERN,
+    SessionJournal,
+    load_latest_snapshot,
+)
+
+
+def make_dataset(record_count=45, duplicate_pairs=8, seed=31):
+    return RestaurantGenerator(
+        record_count=record_count, duplicate_pairs=duplicate_pairs, seed=seed
+    ).generate()
+
+
+def make_config(**overrides):
+    base = dict(
+        likelihood_threshold=0.35, vote_mode="per-pair", aggregation="majority"
+    )
+    base.update(overrides)
+    return WorkflowConfig(**base)
+
+
+def assert_sessions_identical(left, right):
+    snap_left, snap_right = left.snapshot(), right.snapshot()
+    assert snap_left.matches == snap_right.matches
+    assert snap_left.posteriors == snap_right.posteriors
+    assert snap_left.likelihoods == snap_right.likelihoods
+    assert snap_left.ranked_pairs == snap_right.ranked_pairs
+    assert snap_left.cost == snap_right.cost
+    assert snap_left.hit_count == snap_right.hit_count
+    assert snap_left.assignment_count == snap_right.assignment_count
+    assert left.state_digest() == right.state_digest()
+    assert left.covered_pairs() == right.covered_pairs()
+    assert sorted(left.store.record_ids) == sorted(right.store.record_ids)
+
+
+def session_fingerprint(session):
+    """State summary that can outlive the session's storage handle."""
+    snap = session.snapshot()
+    return {
+        "matches": snap.matches,
+        "posteriors": snap.posteriors,
+        "likelihoods": snap.likelihoods,
+        "ranked_pairs": snap.ranked_pairs,
+        "cost": snap.cost,
+        "hit_count": snap.hit_count,
+        "assignment_count": snap.assignment_count,
+        "digest": session.state_digest(),
+        "covered": session.covered_pairs(),
+        "record_ids": sorted(session.store.record_ids),
+    }
+
+
+def drive(resolver, records, schedule, cursor=0):
+    """Apply a deterministic event schedule; returns the arrival cursor."""
+    for action, argument in schedule:
+        if action == "batch":
+            batch = records[cursor : cursor + argument]
+            cursor += argument
+            if batch:
+                resolver.add_batch(batch)
+        elif action == "retract":
+            resident = sorted(resolver.store.record_ids)
+            if resident:
+                resolver.retract(resident[argument % len(resident)])
+        elif action == "update":
+            resident = sorted(resolver.store.record_ids)
+            if resident:
+                record = resolver.store.get(resident[argument % len(resident)])
+                resolver.update(record.with_attributes(name=f"revision {argument}"))
+        elif action == "flush":
+            resolver.flush()
+    return cursor
+
+
+# ------------------------------------------------------------- store basics
+class TestOpenStore:
+    def test_memory_is_the_default_backend(self):
+        store = open_store("memory", None)
+        assert isinstance(store, MemoryStore)
+        assert not store.persistent
+
+    def test_sqlite_requires_a_path(self):
+        with pytest.raises(StorageError):
+            open_store("sqlite", None)
+
+    def test_unknown_backend_raises(self, tmp_path):
+        with pytest.raises(StorageError):
+            open_store("postgres", str(tmp_path / "x"))
+
+    def test_garbage_file_is_rejected(self, tmp_path):
+        target = tmp_path / "store.sqlite"
+        target.write_bytes(b"this is not a database at all, not even close")
+        with pytest.raises(StorageError):
+            SqliteStore(target)
+
+
+class TestSqliteRoundTrips:
+    def test_records_survive_reopen_in_arrival_order(self, tmp_path):
+        path = tmp_path / STORE_FILENAME
+        store = SqliteStore(path)
+        store.add_record(Record("b", {"name": "beta"}, source="s1"))
+        store.add_record(Record("a", {"name": "alpha"}))
+        store.remove_record("zzz")  # unknown ids are a no-op
+        store.commit()
+        store.close()
+        reopened = SqliteStore(path)
+        assert reopened.record_ids() == ["b", "a"]
+        assert reopened.get_record("b").source == "s1"
+        assert reopened.get_record("a").attributes == {"name": "alpha"}
+        assert reopened.record_at(1).record_id == "a"
+        assert reopened.record_count() == 2
+        assert reopened.has_record("b") and not reopened.has_record("zzz")
+        reopened.close()
+
+    def test_record_store_delegates_to_backing(self, tmp_path):
+        store = SqliteStore(tmp_path / STORE_FILENAME)
+        records = RecordStore(name="stream", backing=store)
+        records.add(Record("r1", {"name": "x"}))
+        assert "r1" in records and len(records) == 1
+        assert [record.record_id for record in records] == ["r1"]
+        records.remove("r1")
+        assert len(records) == 0
+        store.close()
+
+    def test_meta_round_trips_json_values(self, tmp_path):
+        path = tmp_path / STORE_FILENAME
+        store = SqliteStore(path)
+        store.set_meta("config", {"threshold": 0.35, "attrs": None})
+        store.set_meta("events_applied", 17)
+        store.commit()
+        store.close()
+        reopened = SqliteStore(path)
+        assert reopened.get_meta("config") == {"threshold": 0.35, "attrs": None}
+        assert reopened.get_meta("events_applied") == 17
+        assert reopened.get_meta("missing", "fallback") == "fallback"
+        reopened.close()
+
+    def test_join_substrate_round_trips(self, tmp_path):
+        path = tmp_path / STORE_FILENAME
+        store = SqliteStore(path)
+        store.extend_vocabulary([("alpha", 0), ("beta", 1)])
+        store.join_append_rows([(0, "r1", None, False, False), (1, "r2", "s", True, False)])
+        store.append_csr_chunk(np.array([0, 1], dtype=np.int64), np.array([2, 0], dtype=np.int64))
+        store.join_mark_dead(1)
+        store.commit()
+        store.close()
+        reopened = SqliteStore(path)
+        state = reopened.load_join_state()
+        assert state["rows"] == [(0, "r1", None, False, False), (1, "r2", "s", True, True)]
+        assert state["vocabulary"] == {"alpha": 0, "beta": 1}
+        assert state["indices"].tolist() == [0, 1]
+        assert state["indptr"] == [0, 2, 2]
+        reopened.close()
+
+    def test_ledger_mutations_survive_reopen(self, tmp_path):
+        path = tmp_path / STORE_FILENAME
+        store = SqliteStore(path)
+        key, other = ("r1", "r2"), ("r3", "r4")
+        store.ledger.add_pair(key, 0.75)
+        store.ledger.add_pair(other, None)
+        store.ledger.record_fresh_votes(key, [("w1", key, True), ("w2", key, False)])
+        store.ledger.mark_covered([key])
+        store.ledger.set_posterior(key, 2.0 / 3.0)
+        store.ledger.clear_pending([key])
+        store.ledger.drop_pair(other)
+        store.commit()
+        store.close()
+        reopened = SqliteStore(path)
+        ledger = reopened.ledger
+        assert ledger.pairs == {key: 0.75}
+        assert ledger.votes == {key: [("w1", key, True), ("w2", key, False)]}
+        assert ledger.vote_rounds == {key: 1}
+        assert ledger.pending_votes == {}  # cleared counters stay popped
+        assert ledger.posteriors == {key: 2.0 / 3.0}  # bit-exact REAL round trip
+        assert ledger.covered == {key}
+        reopened.close()
+
+    def test_provenance_and_workload_round_trip(self, tmp_path):
+        path = tmp_path / STORE_FILENAME
+        store = SqliteStore(path)
+        store.prov_write(("r1", "r2"), 3, ["b3:h0"], [(3, 0, 3)])
+        store.prov_write(("r1", "r3"), 4, [], [])
+        store.prov_delete([("r1", "r3")])
+        store.append_assignment_seconds([1.5, 2.25])
+        store.commit()
+        store.close()
+        reopened = SqliteStore(path)
+        assert reopened.load_provenance() == [(("r1", "r2"), 3, ["b3:h0"], [(3, 0, 3)])]
+        assert reopened.load_assignment_seconds() == [1.5, 2.25]
+        reopened.close()
+
+    def test_rollback_discards_the_open_event(self, tmp_path):
+        path = tmp_path / STORE_FILENAME
+        store = SqliteStore(path)
+        store.add_record(Record("r1", {"name": "x"}))
+        store.commit()
+        store.add_record(Record("r2", {"name": "y"}))
+        store.rollback()  # crash mid-event: back to the last event boundary
+        store.close()
+        reopened = SqliteStore(path)
+        assert reopened.record_ids() == ["r1"]
+        reopened.close()
+
+
+# --------------------------------------------------- backend bit-identity
+class TestBackendBitIdentity:
+    def test_simple_run_matches_memory_backend(self, tmp_path):
+        dataset = make_dataset()
+        records = list(dataset.store)
+        mem = StreamingResolver(config=make_config())
+        sql = StreamingResolver(
+            config=make_config(
+                storage_backend="sqlite",
+                storage_path=str(tmp_path / STORE_FILENAME),
+            )
+        )
+        for session in (mem, sql):
+            session.add_truth(dataset.ground_truth)
+            for start in range(0, len(records), 15):
+                session.add_batch(records[start : start + 15])
+            session.retract(records[2].record_id)
+            session.update(records[4].with_attributes(name="rewritten"))
+            session.flush()
+        assert_sessions_identical(mem, sql)
+        sql.storage.close()
+
+    @settings(
+        max_examples=5,
+        deadline=None,
+        suppress_health_check=[
+            HealthCheck.too_slow,
+            HealthCheck.function_scoped_fixture,
+        ],
+    )
+    @given(
+        data=st.data(),
+        schedule=st.lists(
+            st.one_of(
+                st.tuples(st.just("batch"), st.integers(min_value=1, max_value=20)),
+                st.tuples(st.just("retract"), st.integers(min_value=0, max_value=10_000)),
+                st.tuples(st.just("update"), st.integers(min_value=0, max_value=10_000)),
+                st.tuples(st.just("flush"), st.just(0)),
+            ),
+            min_size=2,
+            max_size=6,
+        ),
+    )
+    def test_property_sqlite_equals_memory_across_crash_schedules(
+        self, tmp_path_factory, data, schedule
+    ):
+        """Random schedules with a crash+restore at a random point.
+
+        The memory-backed session runs the schedule uninterrupted; the
+        SQLite-backed durable session runs a prefix, crashes (its open
+        transaction rolls back, the process state is dropped), restores by
+        paging the store back in, and runs the rest — the final states
+        must be bit-identical.
+        """
+        dataset = make_dataset(record_count=40, duplicate_pairs=8, seed=47)
+        records = list(dataset.store)
+        mem = StreamingResolver(config=make_config())
+        mem.add_truth(dataset.ground_truth)
+        drive(mem, records, schedule)
+
+        directory = tmp_path_factory.mktemp("sqlsession")
+        config = make_config(
+            storage_backend="sqlite",
+            checkpoint_dir=str(directory),
+            checkpoint_every_batches=0,
+            journal_segment_events=data.draw(
+                st.sampled_from([0, 3]), label="segment_events"
+            ),
+        )
+        sql = StreamingResolver(config=config)
+        sql.add_truth(dataset.ground_truth)
+        crash_at = data.draw(
+            st.integers(min_value=0, max_value=len(schedule)), label="crash_at"
+        )
+        cursor = drive(sql, records, schedule[:crash_at])
+        sql.storage.rollback()
+        sql.storage.close()
+        sql = StreamingResolver.restore(str(directory))
+        drive(sql, records, schedule[crash_at:], cursor=cursor)
+        assert_sessions_identical(mem, sql)
+        sql.storage.close()
+
+    def test_crash_mid_event_replays_from_the_journal_intent(self, tmp_path):
+        """The store rolls back to the last event boundary; the journaled
+        intent replays the interrupted event on restore."""
+        from repro.streaming import persistence
+
+        dataset = make_dataset()
+        records = list(dataset.store)
+        config = make_config(
+            storage_backend="sqlite", checkpoint_dir=str(tmp_path)
+        )
+        resolver = StreamingResolver(config=config)
+        resolver.add_truth(dataset.ground_truth)
+        for start in range(0, 30, 10):
+            resolver.add_batch(records[start : start + 10])
+        # Crash mid-event: the intent hits the journal, the store
+        # transaction is rolled back before the event-boundary commit.
+        batch = records[30:40]
+        resolver._journal_intent(
+            "batch", {"records": [persistence.encode_record(r) for r in batch]}
+        )
+        resolver._apply_batch(batch, None)
+        resolver.storage.rollback()
+        resolver.storage.close()
+
+        restored = StreamingResolver.restore(str(tmp_path))
+        uninterrupted = StreamingResolver(config=make_config())
+        uninterrupted.add_truth(dataset.ground_truth)
+        for start in range(0, 40, 10):
+            uninterrupted.add_batch(records[start : start + 10])
+        assert_sessions_identical(uninterrupted, restored)
+        restored.storage.close()
+
+
+# ----------------------------------------------------------- page-in restore
+class TestPageInRestore:
+    def test_restore_pages_in_without_snapshot_or_replay(self, tmp_path):
+        dataset = make_dataset()
+        records = list(dataset.store)
+        config = make_config(
+            storage_backend="sqlite",
+            checkpoint_dir=str(tmp_path),
+            checkpoint_every_batches=0,  # no snapshots: the store is the state
+        )
+        resolver = StreamingResolver(config=config)
+        resolver.add_truth(dataset.ground_truth)
+        for start in range(0, len(records), 12):
+            resolver.add_batch(records[start : start + 12])
+        expected = session_fingerprint(resolver)
+        resolver.storage.close()
+        assert load_latest_snapshot(tmp_path) is None
+        restored = StreamingResolver.restore(str(tmp_path), resume_journal=False)
+        assert session_fingerprint(restored) == expected
+        restored.storage.close()
+
+    def test_restored_session_continues_in_lockstep(self, tmp_path):
+        dataset = make_dataset(record_count=60, duplicate_pairs=10)
+        records = list(dataset.store)
+        config = make_config(
+            storage_backend="sqlite", checkpoint_dir=str(tmp_path)
+        )
+        resolver = StreamingResolver(config=config)
+        resolver.add_truth(dataset.ground_truth)
+        for start in range(0, 40, 13):
+            resolver.add_batch(records[start:][: min(13, 40 - start)])
+        resolver.storage.close()
+        twin_dir = tmp_path.parent / (tmp_path.name + "-twin")
+        twin = StreamingResolver(
+            config=make_config(
+                storage_backend="sqlite",
+                storage_path=str(twin_dir / STORE_FILENAME),
+            )
+        )
+        twin.add_truth(dataset.ground_truth)
+        for start in range(0, 40, 13):
+            twin.add_batch(records[start:][: min(13, 40 - start)])
+        restored = StreamingResolver.restore(str(tmp_path))
+        tail = records[40:]
+        victim = records[3].record_id
+        revised = records[5].with_attributes(name="revised beyond recognition")
+        for session in (twin, restored):
+            session.add_batch(tail[:10])
+            session.retract(victim)
+            session.update(revised)
+            session.add_batch(tail[10:])
+            session.flush()
+        assert_sessions_identical(twin, restored)
+        twin.storage.close()
+        restored.storage.close()
+
+    def test_store_only_session_restores_without_a_journal(self, tmp_path):
+        """storage_path without checkpoint_dir: durability from the store
+        alone (committed events survive; no journal to replay)."""
+        dataset = make_dataset()
+        records = list(dataset.store)
+        config = make_config(
+            storage_backend="sqlite",
+            storage_path=str(tmp_path / STORE_FILENAME),
+        )
+        resolver = StreamingResolver(config=config)
+        resolver.add_truth(dataset.ground_truth)
+        for start in range(0, len(records), 15):
+            resolver.add_batch(records[start : start + 15])
+        expected = session_fingerprint(resolver)
+        resolver.storage.close()
+        restored = StreamingResolver.restore(str(tmp_path), resume_journal=False)
+        assert session_fingerprint(restored) == expected
+        restored.storage.close()
+
+    def test_fresh_session_refuses_an_occupied_store(self, tmp_path):
+        config = make_config(
+            storage_backend="sqlite",
+            storage_path=str(tmp_path / STORE_FILENAME),
+        )
+        first = StreamingResolver(config=config)
+        first.add_batch([Record("r1", {"t": "alpha"}), Record("r2", {"t": "alpha"})])
+        first.storage.close()
+        with pytest.raises(PersistenceError):
+            StreamingResolver(config=config)
+
+
+# ------------------------------------------------- journal lifecycle edges
+class TestJournalLifecycle:
+    def write_events(self, journal, count, start=0):
+        for n in range(start, start + count):
+            journal.append("batch", {"n": n})
+
+    def test_rotation_produces_gapless_segments(self, tmp_path):
+        journal = SessionJournal(tmp_path, segment_events=3)
+        self.write_events(journal, 7)
+        segments = journal.segments()
+        assert [(first, last) for first, last, _ in segments] == [(1, 3), (4, 6)]
+        assert (tmp_path / JOURNAL_FILENAME).exists()  # one event still active
+        reread = SessionJournal(tmp_path, segment_events=3)
+        assert [event.seq for event in reread.events()] == list(range(1, 8))
+
+    def test_resume_across_a_rotated_boundary(self, tmp_path):
+        """A restore whose replay tail spans closed segments and the active
+        file sees one gapless event stream."""
+        dataset = make_dataset()
+        records = list(dataset.store)
+        config = make_config(
+            checkpoint_dir=str(tmp_path),
+            checkpoint_every_batches=0,
+            journal_segment_events=2,  # rotate aggressively
+        )
+        resolver = StreamingResolver(config=config)
+        resolver.add_truth(dataset.ground_truth)
+        for start in range(0, len(records), 9):
+            resolver.add_batch(records[start : start + 9])
+        assert any(
+            SEGMENT_PATTERN.match(name) for name in os.listdir(tmp_path)
+        ), "expected rotated segments"
+        restored = StreamingResolver.restore(str(tmp_path), resume_journal=False)
+        assert_sessions_identical(resolver, restored)
+
+    def test_crash_between_fill_and_rotation_is_finished_on_reopen(self, tmp_path):
+        """An active file already at the rotation threshold (the crash hit
+        after the append, before the rename) rotates when reopened."""
+        journal = SessionJournal(tmp_path, segment_events=0)  # never rotates
+        self.write_events(journal, 4)
+        reopened = SessionJournal(tmp_path, segment_events=4)
+        assert [(first, last) for first, last, _ in reopened.segments()] == [(1, 4)]
+        assert not (tmp_path / JOURNAL_FILENAME).exists()
+        assert reopened.append("flush", {}) == 5  # lands in a fresh active file
+        assert [event.seq for event in SessionJournal(tmp_path).events()] == [1, 2, 3, 4, 5]
+
+    def test_crash_mid_rotation_leaves_a_readable_journal(self, tmp_path):
+        """Rotation is one os.replace: simulate the crash landing right
+        after it (segment exists, no active file) and reopen."""
+        journal = SessionJournal(tmp_path, segment_events=0)
+        self.write_events(journal, 3)
+        os.replace(
+            tmp_path / JOURNAL_FILENAME,
+            tmp_path / "journal-000000000001-000000000003.jsonl",
+        )
+        reopened = SessionJournal(tmp_path, segment_events=3)
+        assert [event.seq for event in reopened.events()] == [1, 2, 3]
+        assert reopened.append("flush", {}) == 4
+        assert [event.seq for event in SessionJournal(tmp_path).events()] == [1, 2, 3, 4]
+
+    def test_compaction_archives_only_covered_segments(self, tmp_path):
+        journal = SessionJournal(tmp_path, segment_events=2)
+        self.write_events(journal, 6)  # segments (1,2), (3,4), (5,6)
+        archived = journal.compact_covered(4)
+        assert [path.name for path in archived] == [
+            "journal-000000000001-000000000002.jsonl",
+            "journal-000000000003-000000000004.jsonl",
+        ]
+        # The uncovered segment survives in place and keeps replaying.
+        assert [(first, last) for first, last, _ in journal.segments()] == [(5, 6)]
+        assert [event.seq for event in journal.events()] == [5, 6]
+        assert (tmp_path / ARCHIVE_DIRNAME).is_dir()
+        reread = SessionJournal(tmp_path)
+        assert [event.seq for event in reread.events()] == [5, 6]
+
+    def test_compaction_of_nothing_is_a_no_op(self, tmp_path):
+        journal = SessionJournal(tmp_path, segment_events=2)
+        self.write_events(journal, 5)
+        assert journal.compact_covered(1) == []  # first segment ends at 2
+        assert [event.seq for event in journal.events()] == [1, 2, 3, 4, 5]
+
+    def test_torn_tail_in_a_closed_segment_is_corruption(self, tmp_path):
+        journal = SessionJournal(tmp_path, segment_events=2)
+        self.write_events(journal, 4)
+        first, last, path = journal.segments()[0]
+        path.write_text(path.read_text()[:-20])
+        with pytest.raises(Exception):
+            SessionJournal(tmp_path)
+
+    def test_save_compacts_the_journal_of_a_durable_session(self, tmp_path):
+        dataset = make_dataset()
+        records = list(dataset.store)
+        config = make_config(
+            checkpoint_dir=str(tmp_path),
+            checkpoint_every_batches=0,
+            journal_segment_events=2,
+        )
+        resolver = StreamingResolver(config=config)
+        resolver.add_truth(dataset.ground_truth)
+        for start in range(0, len(records), 9):
+            resolver.add_batch(records[start : start + 9])
+        assert resolver._journal.segments(), "expected rotated segments"
+        resolver.save()
+        # Every closed segment is covered by the snapshot -> all archived.
+        assert resolver._journal.segments() == []
+        archived = os.listdir(tmp_path / ARCHIVE_DIRNAME)
+        assert archived and all(SEGMENT_PATTERN.match(name) for name in archived)
+        restored = StreamingResolver.restore(str(tmp_path), resume_journal=False)
+        assert_sessions_identical(resolver, restored)
+
+    def test_sqlite_restore_after_rotation_and_compaction(self, tmp_path):
+        """The acceptance property: restore() on a rotated+compacted
+        journal equals the uninterrupted session."""
+        dataset = make_dataset()
+        records = list(dataset.store)
+        config = make_config(
+            storage_backend="sqlite",
+            checkpoint_dir=str(tmp_path),
+            checkpoint_every_batches=0,
+            journal_segment_events=2,
+        )
+        resolver = StreamingResolver(config=config)
+        resolver.add_truth(dataset.ground_truth)
+        for start in range(0, 27, 9):
+            resolver.add_batch(records[start : start + 9])
+        resolver.save()  # archives the store-covered segments
+        resolver.add_batch(records[27:36])  # events beyond the compaction point
+        resolver.storage.close()
+        restored = StreamingResolver.restore(str(tmp_path))
+        uninterrupted = StreamingResolver(config=make_config())
+        uninterrupted.add_truth(dataset.ground_truth)
+        for start in range(0, 36, 9):
+            uninterrupted.add_batch(records[start : start + 9])
+        assert_sessions_identical(uninterrupted, restored)
+        restored.storage.close()
+
+
+# ------------------------------------------------- re-join on config change
+class TestRestoreRejoin:
+    def run_session(self, directory, records, truth, **overrides):
+        config = make_config(
+            storage_backend="sqlite", checkpoint_dir=str(directory), **overrides
+        )
+        resolver = StreamingResolver(config=config)
+        resolver.add_truth(truth)
+        for start in range(0, len(records), 12):
+            resolver.add_batch(records[start : start + 12])
+        return resolver
+
+    def test_changed_threshold_triggers_a_rejoin(self, tmp_path):
+        dataset = make_dataset()
+        records = list(dataset.store)
+        resolver = self.run_session(tmp_path, records, dataset.ground_truth)
+        resolver.storage.close()
+        new_config = make_config(
+            storage_backend="sqlite",
+            checkpoint_dir=str(tmp_path),
+            likelihood_threshold=0.2,
+            stream_batch_size=12,
+        )
+        rejoined = StreamingResolver.restore(str(tmp_path), config=new_config)
+        # The re-joined session equals a fresh run under the new config.
+        fresh = StreamingResolver(
+            config=make_config(likelihood_threshold=0.2, stream_batch_size=12)
+        )
+        fresh.add_truth(dataset.ground_truth)
+        for start in range(0, len(records), 12):
+            fresh.add_batch(records[start : start + 12])
+        assert_sessions_identical(fresh, rejoined)
+        # The old artifacts moved into the archive bucket.
+        buckets = [
+            name
+            for name in os.listdir(tmp_path / ARCHIVE_DIRNAME)
+            if name.startswith("rejoin-")
+        ]
+        assert len(buckets) == 1
+        archived = os.listdir(tmp_path / ARCHIVE_DIRNAME / buckets[0])
+        assert STORE_FILENAME in archived
+        assert any(name == JOURNAL_FILENAME or SEGMENT_PATTERN.match(name) for name in archived)
+        rejoined.storage.close()
+
+    def test_unchanged_result_config_resumes_normally(self, tmp_path):
+        dataset = make_dataset()
+        records = list(dataset.store)
+        resolver = self.run_session(tmp_path, records, dataset.ground_truth)
+        expected = session_fingerprint(resolver)
+        resolver.storage.close()
+        # checkpoint_every_batches changes durability, not results: no rejoin.
+        same_results = make_config(
+            storage_backend="sqlite",
+            checkpoint_dir=str(tmp_path),
+            checkpoint_every_batches=99,
+        )
+        restored = StreamingResolver.restore(
+            str(tmp_path), config=same_results, resume_journal=False
+        )
+        assert session_fingerprint(restored) == expected
+        assert not (tmp_path / ARCHIVE_DIRNAME / "rejoin-000000000000").exists()
+        restored.storage.close()
+
+    def test_memory_session_rejoins_too(self, tmp_path):
+        """The re-join path is backend-agnostic: snapshot/journal sessions
+        re-ingest under the new config exactly like store-backed ones."""
+        dataset = make_dataset()
+        records = list(dataset.store)
+        config = make_config(checkpoint_dir=str(tmp_path))
+        resolver = StreamingResolver(config=config)
+        resolver.add_truth(dataset.ground_truth)
+        for start in range(0, len(records), 12):
+            resolver.add_batch(records[start : start + 12])
+        new_config = make_config(
+            checkpoint_dir=str(tmp_path), likelihood_threshold=0.2, stream_batch_size=12
+        )
+        rejoined = StreamingResolver.restore(str(tmp_path), config=new_config)
+        fresh = StreamingResolver(
+            config=make_config(likelihood_threshold=0.2, stream_batch_size=12)
+        )
+        fresh.add_truth(dataset.ground_truth)
+        for start in range(0, len(records), 12):
+            fresh.add_batch(records[start : start + 12])
+        assert_sessions_identical(fresh, rejoined)
+
+
+# ------------------------------------------------- columnar HIT generation
+class TestColumnarPairGeneration:
+    def test_to_arrays_densifies_missing_likelihoods(self):
+        pairs = PairSet(
+            [
+                RecordPair("r1", "r2", likelihood=0.8),
+                RecordPair("r3", "r4"),
+                RecordPair("r5", "r6", likelihood=0.3),
+            ]
+        )
+        keys, values = pairs.to_arrays()
+        assert keys == [("r1", "r2"), ("r3", "r4"), ("r5", "r6")]
+        assert values.dtype == np.float64
+        assert values.tolist() == [0.8, -1.0, 0.3]
+
+    def test_argsort_descending_is_stable(self):
+        order = argsort_descending([0.5, 0.9, 0.5, -1.0, 0.9])
+        assert order.tolist() == [1, 4, 0, 2, 3]
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        likelihoods=st.lists(
+            st.one_of(
+                st.none(),
+                st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+            ),
+            min_size=0,
+            max_size=40,
+        ),
+        pairs_per_hit=st.integers(min_value=1, max_value=7),
+    )
+    def test_property_columnar_ranking_equals_object_sort(
+        self, likelihoods, pairs_per_hit
+    ):
+        """The vectorized argsort path produces exactly the HITs the old
+        per-object stable sort did, for any likelihood multiset."""
+        pairs = PairSet(
+            RecordPair(f"r{2 * n}", f"r{2 * n + 1}", likelihood=value)
+            for n, value in enumerate(likelihoods)
+        )
+        batch = PairHITGenerator(pairs_per_hit=pairs_per_hit).generate(pairs)
+        reference = [pair.key for pair in pairs.sorted_by_likelihood()]
+        flattened = [key for hit in batch.hits for key in hit.pairs]
+        assert flattened == reference
+        assert [hit.hit_id for hit in batch.hits] == [
+            f"pair-hit-{n + 1}" for n in range(len(batch.hits))
+        ]
+        assert all(len(hit.pairs) <= pairs_per_hit for hit in batch.hits)
+        assert batch.candidate_pairs == set(pairs.keys())
+
+    def test_insertion_order_mode_is_untouched(self):
+        pairs = PairSet(
+            [
+                RecordPair("r1", "r2", likelihood=0.1),
+                RecordPair("r3", "r4", likelihood=0.9),
+            ]
+        )
+        batch = PairHITGenerator(pairs_per_hit=10, order_by_likelihood=False).generate(pairs)
+        assert batch.hits[0].pairs == (("r1", "r2"), ("r3", "r4"))
