@@ -18,9 +18,12 @@ of its output.
 
 from __future__ import annotations
 
+import argparse
+import json
 import math
-from typing import Dict, List
+from typing import Dict, List, Optional, Sequence
 
+from repro import obs
 from repro.aggregation.dawid_skene import DawidSkeneAggregator
 from repro.crowd.platform import SimulatedCrowdPlatform
 from repro.crowd.qualification import QualificationTest
@@ -92,3 +95,70 @@ def run_comparison(dataset, seed: int = 3) -> List[Dict[str, object]]:
             }
         )
     return rows
+
+
+def standalone_main(
+    figure: str,
+    columns: List[str],
+    argv: Optional[Sequence[str]] = None,
+) -> int:
+    """Shared CLI for running a figure's comparison outside pytest.
+
+    Runs the protocol on Product and Product+Dup with the metrics registry
+    enabled and, with ``--json PATH``, writes the rows *and* the metric
+    snapshot (HIT generation, crowd and aggregation instrumentation) as one
+    JSON artifact.
+    """
+    from conftest import bench_scale  # benchmarks/ is the working directory
+
+    from repro.datasets.product import load_product
+    from repro.datasets.product_dup import ProductDupGenerator
+    from repro.evaluation.reporting import format_table
+
+    parser = argparse.ArgumentParser(
+        description=f"Figure {figure}: pair vs cluster HITs (standalone run)"
+    )
+    parser.add_argument("--scale", type=float, default=None,
+                        help="Product dataset scale (default: REPRO_BENCH_SCALE)")
+    parser.add_argument("--seed", type=int, default=3, help="crowd seed")
+    parser.add_argument("--json", type=str, default=None,
+                        help="write rows + metrics snapshot to this JSON file")
+    args = parser.parse_args(argv)
+
+    scale = args.scale if args.scale is not None else bench_scale()
+    obs.activate()
+    try:
+        datasets = [
+            ("product", load_product(scale=scale)),
+            ("product-dup", ProductDupGenerator(
+                base_records=100, max_duplicates=9, seed=11, product_scale=scale,
+            ).generate()),
+        ]
+        results = {}
+        for name, dataset in datasets:
+            rows = run_comparison(dataset, seed=args.seed)
+            results[name] = rows
+            print(format_table(
+                rows, columns=columns,
+                title=f"Figure {figure} — {name}",
+            ))
+        snapshot = obs.snapshot()
+        if args.json:
+            payload = {
+                "benchmark": f"fig{figure}",
+                "scale": scale,
+                "seed": args.seed,
+                "rows": {
+                    name: [
+                        {key: row[key] for key in columns} for row in rows
+                    ]
+                    for name, rows in results.items()
+                },
+                "metrics": snapshot.to_dict() if snapshot is not None else {},
+            }
+            with open(args.json, "w") as handle:
+                json.dump(payload, handle, indent=2)
+            print(f"wrote {args.json}")
+    finally:
+        obs.deactivate()
+    return 0

@@ -27,3 +27,11 @@ def test_fig13b_product_dup(benchmark, product_dup_dataset, report):
         rows, columns=COLUMNS,
         title="Figure 13(b) — Product+Dup: median completion time per assignment (seconds)",
     ))
+
+
+if __name__ == "__main__":  # standalone: emit rows + metrics snapshot as JSON
+    import sys
+
+    from _pair_vs_cluster import standalone_main
+
+    sys.exit(standalone_main("13", COLUMNS))

@@ -28,3 +28,11 @@ def test_fig14b_product_dup(benchmark, product_dup_dataset, report):
         rows, columns=COLUMNS,
         title="Figure 14(b) — Product+Dup: total completion time (minutes)",
     ))
+
+
+if __name__ == "__main__":  # standalone: emit rows + metrics snapshot as JSON
+    import sys
+
+    from _pair_vs_cluster import standalone_main
+
+    sys.exit(standalone_main("14", COLUMNS))

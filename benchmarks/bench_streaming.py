@@ -29,6 +29,7 @@ import sys
 import time
 from typing import List, Optional
 
+from repro import obs
 from repro.core.config import WorkflowConfig
 from repro.core.workflow import HybridWorkflow
 from repro.datasets.restaurant import RestaurantGenerator
@@ -87,6 +88,46 @@ def run_scenario(
         "_speedup": speedup,
         "_identical": identical,
     }
+
+
+def collect_metrics_snapshot(
+    record_count: int,
+    append_count: int,
+    threshold: float,
+    seed: int,
+    setup_batch_size: int,
+) -> dict:
+    """Re-run the smallest scenario with metrics on and return the snapshot.
+
+    A *separate*, untimed pass: the timed measurements above always run with
+    the registry disabled, so the instrumentation never taints the speedup
+    numbers that this benchmark gates on.
+    """
+    obs.activate()
+    try:
+        dataset = RestaurantGenerator(
+            record_count=record_count,
+            duplicate_pairs=max(1, record_count // 8),
+            seed=seed,
+        ).generate()
+        config = WorkflowConfig(
+            likelihood_threshold=threshold,
+            vote_mode="per-pair",
+            aggregation="majority",
+            metrics_enabled=True,
+            seed=seed,
+        )
+        records = list(dataset.store)
+        resident, appended = records[:-append_count], records[-append_count:]
+        resolver = StreamingResolver(config=config, cross_sources=dataset.cross_sources)
+        resolver.add_truth(dataset.ground_truth)
+        for start in range(0, len(resident), setup_batch_size):
+            resolver.add_batch(resident[start : start + setup_batch_size])
+        resolver.add_batch(appended)
+        snapshot = obs.snapshot()
+        return snapshot.to_dict() if snapshot is not None else {}
+    finally:
+        obs.deactivate()
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -153,6 +194,12 @@ def main(argv: Optional[List[str]] = None) -> int:
                 {key: value for key, value in row.items() if not key.startswith("_")}
                 for row in rows
             ],
+            # Observability snapshot from an extra instrumented pass at the
+            # smallest size — untimed, so the rows above are unaffected.
+            "metrics": collect_metrics_snapshot(
+                min(sizes), append_count, args.threshold, args.seed,
+                args.setup_batch_size,
+            ),
         }
         with open(args.json, "w") as handle:
             json.dump(payload, handle, indent=2)

@@ -24,6 +24,7 @@ from typing import Dict, Iterable, Tuple
 
 import numpy as np
 
+from repro import obs
 from repro.aggregation.majority import Vote, majority_vote
 from repro.records.pairs import canonical_pair
 
@@ -188,6 +189,18 @@ class DawidSkeneAggregator:
             if change < self.tolerance:
                 converged = True
                 break
+
+        if obs.enabled():
+            obs.inc("aggregation_runs_total", 1, aggregator=self.name,
+                    help="Aggregator invocations.")
+            obs.inc("dawid_skene_em_iterations_total", iterations,
+                    help="Cumulative EM iterations across runs.")
+            obs.set_gauge("dawid_skene_last_iterations", iterations,
+                          help="EM iterations of the most recent run.")
+            obs.set_gauge("dawid_skene_last_convergence_delta", change,
+                          help="Final max-abs posterior change of the last run.")
+            obs.set_gauge("dawid_skene_last_converged", 1.0 if converged else 0.0,
+                          help="Whether the last EM run converged (1) or hit max_iterations (0).")
 
         worker_accuracy = {
             worker: (float(sensitivity[worker_index[worker]]), float(specificity[worker_index[worker]]))

@@ -22,6 +22,13 @@ Three subcommands expose the most common workflows without writing Python:
   ``--retract ID`` withdraws records (repeatable) and ``--update-file``
   applies revised records from a JSON file, printing the provenance-bounded
   blast radius of each.
+* ``stats`` — render a per-session cost report (HITs, votes, machine vs.
+  crowd time split) from a SQLite session store or a JSONL trace file.
+
+``resolve`` and ``resolve-stream`` accept ``--metrics`` (enable the
+in-process metrics registry), ``--trace PATH`` (JSONL span/counter trace)
+and ``--metrics-out PATH`` (Prometheus text export at exit).  ``-v``
+surfaces library debug logging; ``-q`` quiets everything below WARNING.
 
 Examples::
 
@@ -39,15 +46,24 @@ Examples::
         --storage-backend sqlite --checkpoint-dir /tmp/er-session
     python -m repro.cli resolve-stream --dataset paper-example --batch-size 3 \
         --retract r3 --update-file revised.json
+    python -m repro.cli resolve-stream --dataset restaurant --batch-size 64 \
+        --storage-backend sqlite --checkpoint-dir /tmp/er-session \
+        --metrics --trace /tmp/er-session/trace.jsonl \
+        --metrics-out /tmp/er-session/metrics.prom
+    python -m repro.cli stats --checkpoint-dir /tmp/er-session
+    python -m repro.cli stats --trace /tmp/er-session/trace.jsonl --json
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import logging
 import sys
 from pathlib import Path
 from typing import List, Optional
 
+from repro import obs
 from repro.core.config import WorkflowConfig
 from repro.core.workflow import HybridWorkflow
 from repro.datasets.base import Dataset
@@ -60,11 +76,64 @@ from repro.evaluation.metrics import f1_score, precision_recall
 from repro.evaluation.reporting import format_table
 from repro.evaluation.threshold_table import threshold_table
 from repro.hit.generator import available_generators, get_cluster_generator
+from repro.obs.report import CostReport
 from repro.simjoin.backend import AUTO_BACKEND, available_backends
 from repro.simjoin.likelihood import SimJoinLikelihood
+from repro.storage import STORE_FILENAME
 from repro.streaming import StreamingResolver
 
 _DATASETS = ("restaurant", "product", "product-dup", "paper-example")
+
+#: CLI reporting goes through this logger (configured in :func:`main`),
+#: never through bare prints or the root logger.  Library modules have
+#: their own ``logging.getLogger(__name__)`` loggers under the ``repro``
+#: hierarchy, so ``--verbose`` surfaces their debug output too.
+_LOG = logging.getLogger("repro.cli")
+
+
+def _configure_logging(verbosity: int) -> None:
+    """Route ``repro.*`` log records to the console by severity.
+
+    Progress and results (<= INFO) go to stdout — at the default level
+    their text is byte-identical to the old print-based reporting, which
+    the CLI round-trip tests pin.  Warnings and errors go to stderr.
+    ``-q`` raises the bar to WARNING, ``-v`` lowers it to DEBUG.
+    Reconfigures idempotently: handlers are rebuilt on every call so
+    repeated in-process invocations (tests) never double-log and always
+    bind the *current* stdout/stderr.
+    """
+    logger = logging.getLogger("repro")
+    for handler in list(logger.handlers):
+        logger.removeHandler(handler)
+    if verbosity > 0:
+        level = logging.DEBUG
+    elif verbosity < 0:
+        level = logging.WARNING
+    else:
+        level = logging.INFO
+    logger.setLevel(level)
+    out = logging.StreamHandler(sys.stdout)
+    out.setFormatter(logging.Formatter("%(message)s"))
+    out.addFilter(lambda record: record.levelno < logging.WARNING)
+    err = logging.StreamHandler(sys.stderr)
+    err.setFormatter(logging.Formatter("%(message)s"))
+    err.setLevel(logging.WARNING)
+    logger.addHandler(out)
+    logger.addHandler(err)
+    logger.propagate = False
+
+
+def _add_obs_arguments(parser: argparse.ArgumentParser) -> None:
+    """Observability flags shared by the workflow-running subcommands."""
+    parser.add_argument("--metrics", action="store_true",
+                        help="enable the in-process metrics registry "
+                             "(counters, histograms, span timings)")
+    parser.add_argument("--trace", type=str, default=None, metavar="PATH",
+                        help="append span/counter events to this JSONL trace "
+                             "file (implies --metrics)")
+    parser.add_argument("--metrics-out", type=str, default=None, metavar="PATH",
+                        help="write a Prometheus text-format metrics export "
+                             "to this file at exit (implies --metrics)")
 
 
 def _add_backend_argument(parser: argparse.ArgumentParser) -> None:
@@ -112,7 +181,7 @@ def _add_dataset_arguments(parser: argparse.ArgumentParser) -> None:
 def _cmd_threshold_table(args: argparse.Namespace) -> int:
     dataset = load_dataset(args.dataset, args.scale, args.seed)
     rows = [row.as_dict() for row in threshold_table(dataset, thresholds=args.thresholds)]
-    print(format_table(
+    _LOG.info(format_table(
         rows,
         columns=["threshold", "total_pairs", "matching_pairs", "recall"],
         title=f"Likelihood-threshold selection — {dataset.name} "
@@ -138,13 +207,25 @@ def _cmd_generate_hits(args: argparse.Namespace) -> int:
             "hits": batch.hit_count,
             "valid_cover": batch.is_valid_cover(),
         })
-    print(format_table(
+    _LOG.info(format_table(
         rows,
         columns=["algorithm", "pairs", "hits", "valid_cover"],
         title=f"Cluster-based HIT generation — {dataset.name}, "
               f"threshold {args.threshold}, k={args.cluster_size}",
     ))
     return 0
+
+
+def _write_metrics_out(path: Optional[str]) -> None:
+    """Export the live registry as Prometheus text to ``path`` (if any)."""
+    if not path:
+        return
+    snapshot = obs.snapshot()
+    if snapshot is None:
+        _LOG.warning("note: --metrics-out ignored (metrics are not enabled)")
+        return
+    Path(path).write_text(obs.to_prometheus(snapshot), encoding="utf-8")
+    _LOG.info(f"metrics exported to {path}")
 
 
 def _cmd_resolve(args: argparse.Namespace) -> int:
@@ -157,21 +238,25 @@ def _cmd_resolve(args: argparse.Namespace) -> int:
         use_qualification_test=args.qualification_test,
         join_backend=args.join_backend,
         join_workers=args.join_workers,
+        metrics_enabled=args.metrics or bool(args.metrics_out),
+        trace_path=args.trace,
         seed=args.seed,
     )
     result = HybridWorkflow(config).resolve(dataset)
     precision, recall = precision_recall(result.matches, dataset.ground_truth)
-    print(f"dataset            : {dataset.name} "
-          f"({dataset.record_count} records, {dataset.match_count} true matches)")
-    print(f"candidates         : {result.candidate_count}")
-    print(f"HITs / assignments : {result.hit_count} / {result.assignment_count} "
-          f"({result.generator_name})")
-    print(f"crowd cost         : ${result.cost:.2f}")
-    print(f"est. completion    : {result.latency.total_minutes:.0f} minutes")
-    print(f"matches found      : {len(result.matches)}")
-    print(f"precision / recall : {precision:.1%} / {recall:.1%} "
-          f"(F1 {f1_score(result.matches, dataset.ground_truth):.3f})")
-    print(f"recall ceiling     : {result.recall_ceiling:.1%}")
+    _LOG.info(f"dataset            : {dataset.name} "
+              f"({dataset.record_count} records, {dataset.match_count} true matches)")
+    _LOG.info(f"candidates         : {result.candidate_count}")
+    _LOG.info(f"HITs / assignments : {result.hit_count} / {result.assignment_count} "
+              f"({result.generator_name})")
+    _LOG.info(f"crowd cost         : ${result.cost:.2f}")
+    _LOG.info(f"est. completion    : {result.latency.total_minutes:.0f} minutes")
+    _LOG.info(f"matches found      : {len(result.matches)}")
+    _LOG.info(f"precision / recall : {precision:.1%} / {recall:.1%} "
+              f"(F1 {f1_score(result.matches, dataset.ground_truth):.3f})")
+    _LOG.info(f"recall ceiling     : {result.recall_ceiling:.1%}")
+    _write_metrics_out(args.metrics_out)
+    obs.deactivate()
     return 0
 
 
@@ -215,15 +300,19 @@ def _load_update_records(path: str) -> List[Record]:
 
 def _cmd_resolve_stream(args: argparse.Namespace) -> int:
     dataset = load_dataset(args.dataset, args.scale, args.seed)
+    # Observability is per process, not per stored session: enable it
+    # before restore so page-in timings and counter continuity are covered.
+    if args.metrics or args.metrics_out or args.trace:
+        obs.activate(trace_path=args.trace)
     if args.resume:
         if not args.checkpoint_dir:
-            print("error: --resume requires --checkpoint-dir", file=sys.stderr)
+            _LOG.error("error: --resume requires --checkpoint-dir")
             return 2
         resolver = StreamingResolver.restore(args.checkpoint_dir)
         config = resolver.config
-        print(f"resumed session from {args.checkpoint_dir}: "
-              f"{resolver.record_count} records, {resolver.candidate_count} pairs, "
-              f"{resolver.events_applied} journal events")
+        _LOG.info(f"resumed session from {args.checkpoint_dir}: "
+                  f"{resolver.record_count} records, {resolver.candidate_count} pairs, "
+                  f"{resolver.events_applied} journal events")
         # The stored configuration governs a resumed session; flags that
         # would change the workflow are ignored, and we say so when they
         # conflict instead of silently pretending they applied.
@@ -241,8 +330,8 @@ def _cmd_resolve_stream(args: argparse.Namespace) -> int:
             if given != stored
         ]
         if conflicts:
-            print("note: --resume keeps the session's stored configuration; "
-                  "ignoring " + ", ".join(conflicts), file=sys.stderr)
+            _LOG.warning("note: --resume keeps the session's stored configuration; "
+                         "ignoring " + ", ".join(conflicts))
         # Re-register the dataset's ground truth: a no-op when resuming the
         # same dataset (truth is a set), and the difference between wrong
         # answers and correct ones if the dataset grew since the session
@@ -264,6 +353,8 @@ def _cmd_resolve_stream(args: argparse.Namespace) -> int:
             checkpoint_dir=args.checkpoint_dir,
             storage_backend=args.storage_backend,
             storage_path=args.storage_path,
+            metrics_enabled=args.metrics or bool(args.metrics_out),
+            trace_path=args.trace,
             **(
                 {"checkpoint_every_batches": args.checkpoint_every}
                 if args.checkpoint_every is not None
@@ -277,8 +368,11 @@ def _cmd_resolve_stream(args: argparse.Namespace) -> int:
     # records it has not seen yet arrive now.
     records = [record for record in dataset.store if record.record_id not in resolver.store]
     result = resolver.snapshot()
-    print(f"streaming {dataset.name}: {len(records)} records in batches of "
-          f"{config.stream_batch_size} (re-crowd policy: {config.recrowd_policy})")
+    _LOG.info(f"streaming {dataset.name}: {len(records)} records in batches of "
+              f"{config.stream_batch_size} (re-crowd policy: {config.recrowd_policy})")
+    # Per-invocation delta totals for the summary line (tracked CLI-side so
+    # the line works with or without --metrics).
+    stale_total = invalidated_total = retracted_total = 0
     batches_done = 0
     for start in range(0, len(records), config.stream_batch_size):
         if args.max_batches and batches_done >= args.max_batches:
@@ -286,22 +380,25 @@ def _cmd_resolve_stream(args: argparse.Namespace) -> int:
         result = resolver.add_batch(records[start : start + config.stream_batch_size])
         batches_done += 1
         delta = result.delta
-        print(f"  batch {delta.batch_index:>3}: +{delta.new_records} records, "
-              f"+{delta.new_candidate_pairs} pairs | "
-              f"{delta.dirty_components} dirty / {delta.clean_components} clean components | "
-              f"{delta.regenerated_hits} HITs regenerated, "
-              f"{delta.crowdsourced_pairs} pairs crowdsourced, "
-              f"{delta.reused_vote_pairs} vote sets reused | "
-              f"matches so far: {len(result.matches)}")
+        stale_total += delta.stale_skipped_components
+        _LOG.info(f"  batch {delta.batch_index:>3}: +{delta.new_records} records, "
+                  f"+{delta.new_candidate_pairs} pairs | "
+                  f"{delta.dirty_components} dirty / {delta.clean_components} clean components | "
+                  f"{delta.regenerated_hits} HITs regenerated, "
+                  f"{delta.crowdsourced_pairs} pairs crowdsourced, "
+                  f"{delta.reused_vote_pairs} vote sets reused | "
+                  f"matches so far: {len(result.matches)}")
     if args.max_batches and len(records) > batches_done * config.stream_batch_size:
         remaining = len(records) - batches_done * config.stream_batch_size
         if config.checkpoint_dir:
             resolver.save()
-            print(f"stopped after {batches_done} batches; {remaining} records "
-                  f"pending — resume with --checkpoint-dir {config.checkpoint_dir} --resume")
+            _LOG.info(f"stopped after {batches_done} batches; {remaining} records "
+                      f"pending — resume with --checkpoint-dir {config.checkpoint_dir} --resume")
         else:
-            print(f"stopped after {batches_done} batches; {remaining} records pending "
-                  f"(no --checkpoint-dir, progress is not durable)")
+            _LOG.info(f"stopped after {batches_done} batches; {remaining} records pending "
+                      f"(no --checkpoint-dir, progress is not durable)")
+        _write_metrics_out(args.metrics_out)
+        obs.deactivate()
         return 0
     # Post-ingest mutations: retractions and record revisions, each
     # re-resolving only its provenance-bounded blast radius.
@@ -309,42 +406,80 @@ def _cmd_resolve_stream(args: argparse.Namespace) -> int:
         try:
             result = resolver.retract(record_id)
         except RecordError as error:
-            print(f"error: {error}", file=sys.stderr)
+            _LOG.error(f"error: {error}")
             return 2
         delta = result.delta
-        print(f"  retract {record_id}: -{delta.invalidated_pairs} pairs invalidated | "
-              f"{delta.dirty_components} dirty / {delta.clean_components} clean components | "
-              f"matches now: {len(result.matches)}")
+        stale_total += delta.stale_skipped_components
+        invalidated_total += delta.invalidated_pairs
+        retracted_total += delta.retracted_records
+        _LOG.info(f"  retract {record_id}: -{delta.invalidated_pairs} pairs invalidated | "
+                  f"{delta.dirty_components} dirty / {delta.clean_components} clean components | "
+                  f"matches now: {len(result.matches)}")
     if args.update_file:
         try:
             revised = _load_update_records(args.update_file)
         except (OSError, ValueError) as error:
-            print(f"error: cannot read --update-file: {error}", file=sys.stderr)
+            _LOG.error(f"error: cannot read --update-file: {error}")
             return 2
         for record in revised:
             try:
                 result = resolver.update(record)
             except RecordError as error:
-                print(f"error: {error}", file=sys.stderr)
+                _LOG.error(f"error: {error}")
                 return 2
             delta = result.delta
-            print(f"  update {record.record_id}: -{delta.invalidated_pairs} pairs invalidated, "
-                  f"+{delta.new_candidate_pairs} rejoined | "
-                  f"{delta.regenerated_hits} HITs regenerated, "
-                  f"{delta.crowdsourced_pairs} pairs crowdsourced | "
-                  f"matches now: {len(result.matches)}")
+            stale_total += delta.stale_skipped_components
+            invalidated_total += delta.invalidated_pairs
+            retracted_total += delta.retracted_records
+            _LOG.info(f"  update {record.record_id}: -{delta.invalidated_pairs} pairs invalidated, "
+                      f"+{delta.new_candidate_pairs} rejoined | "
+                      f"{delta.regenerated_hits} HITs regenerated, "
+                      f"{delta.crowdsourced_pairs} pairs crowdsourced | "
+                      f"matches now: {len(result.matches)}")
     # Settle any components deferred by bounded-staleness aggregation
     # (no-op at the default epsilon of 0).
     result = resolver.flush()
     precision, recall = precision_recall(result.matches, dataset.ground_truth)
-    print(f"candidates         : {result.candidate_count}")
-    print(f"HITs / assignments : {result.hit_count} / {result.assignment_count} "
-          f"({result.generator_name})")
-    print(f"crowd cost         : ${result.cost:.2f}")
-    print(f"matches found      : {len(result.matches)}")
-    print(f"precision / recall : {precision:.1%} / {recall:.1%} "
-          f"(F1 {f1_score(result.matches, dataset.ground_truth):.3f})")
-    print(f"recall ceiling     : {result.recall_ceiling:.1%}")
+    # The delta-totals line stays ABOVE the six-line summary block: resumed
+    # and uninterrupted runs must keep identical final summaries (the CLI
+    # round-trip test compares the last six stdout lines).
+    _LOG.info(f"delta totals       : {stale_total} stale-skipped components, "
+              f"{invalidated_total} pairs invalidated, "
+              f"{retracted_total} records retracted")
+    _LOG.info(f"candidates         : {result.candidate_count}")
+    _LOG.info(f"HITs / assignments : {result.hit_count} / {result.assignment_count} "
+              f"({result.generator_name})")
+    _LOG.info(f"crowd cost         : ${result.cost:.2f}")
+    _LOG.info(f"matches found      : {len(result.matches)}")
+    _LOG.info(f"precision / recall : {precision:.1%} / {recall:.1%} "
+              f"(F1 {f1_score(result.matches, dataset.ground_truth):.3f})")
+    _LOG.info(f"recall ceiling     : {result.recall_ceiling:.1%}")
+    _write_metrics_out(args.metrics_out)
+    obs.deactivate()
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    """Render a per-session cost report from a store or a trace file."""
+    try:
+        if args.trace:
+            report = CostReport.from_trace(args.trace)
+        elif args.store:
+            report = CostReport.from_store(args.store)
+        elif args.checkpoint_dir:
+            report = CostReport.from_store(
+                str(Path(args.checkpoint_dir) / STORE_FILENAME)
+            )
+        else:
+            _LOG.error("error: stats needs --store, --checkpoint-dir or --trace")
+            return 2
+    except (OSError, ValueError) as error:
+        _LOG.error(f"error: {error}")
+        return 2
+    if args.json:
+        _LOG.info(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        _LOG.info(report.render())
     return 0
 
 
@@ -353,6 +488,10 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="CrowdER hybrid human-machine entity resolution"
     )
+    parser.add_argument("-v", "--verbose", action="count", default=0,
+                        help="also show library debug logging (repro.* loggers)")
+    parser.add_argument("-q", "--quiet", action="store_true",
+                        help="only show warnings and errors")
     subparsers = parser.add_subparsers(dest="command", required=True)
 
     table = subparsers.add_parser("threshold-table", help="print the Table-2 threshold/recall table")
@@ -378,6 +517,7 @@ def build_parser() -> argparse.ArgumentParser:
     resolve.add_argument("--qualification-test", action="store_true",
                          help="require workers to pass a qualification test")
     _add_backend_argument(resolve)
+    _add_obs_arguments(resolve)
     resolve.set_defaults(handler=_cmd_resolve)
 
     stream = subparsers.add_parser(
@@ -428,7 +568,24 @@ def build_parser() -> argparse.ArgumentParser:
                              "(0 = run to completion); with --checkpoint-dir "
                              "the rest can be resumed later")
     _add_backend_argument(stream)
+    _add_obs_arguments(stream)
     stream.set_defaults(handler=_cmd_resolve_stream)
+
+    stats = subparsers.add_parser(
+        "stats",
+        help="render a per-session cost report (HITs, votes, machine vs. "
+             "crowd time split) from a store or trace file",
+    )
+    stats.add_argument("--store", type=str, default=None, metavar="PATH",
+                       help="SQLite session store file to report on")
+    stats.add_argument("--checkpoint-dir", type=str, default=None,
+                       help="checkpoint directory holding a SQLite store "
+                            f"({STORE_FILENAME})")
+    stats.add_argument("--trace", type=str, default=None, metavar="PATH",
+                       help="JSONL trace file to report on instead of a store")
+    stats.add_argument("--json", action="store_true",
+                       help="emit the report as JSON instead of text")
+    stats.set_defaults(handler=_cmd_stats)
     return parser
 
 
@@ -436,6 +593,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
+    _configure_logging(-1 if args.quiet else args.verbose)
     return args.handler(args)
 
 

@@ -84,6 +84,16 @@ class WorkflowConfig:
       by a snapshot (or by the SQLite store) are archived on ``save()``
       instead of being replayed forever.  0 disables rotation (one
       unbounded journal file, the pre-segmentation behavior).
+    * ``metrics_enabled`` — turn on the :mod:`repro.obs` observability
+      runtime for this run: every pipeline phase records spans, counters
+      and histograms into the process-global metrics registry
+      (``obs.snapshot()``, Prometheus export, ``repro stats``).  Off by
+      default — the instrumented hot paths then cost one no-op check.
+      Purely observational: results are bit-identical either way.
+    * ``trace_path`` — when set, a structured JSONL trace-event sink is
+      attached at that path (one JSON object per span/counter event plus a
+      final metrics snapshot).  Implies ``metrics_enabled`` behavior for
+      this run; readable by ``repro stats --trace``.
     * ``seed`` — seed for the crowd simulation.
     """
 
@@ -110,6 +120,8 @@ class WorkflowConfig:
     storage_path: Optional[str] = None
     journal_segment_events: int = 512
     decision_threshold: float = 0.5
+    metrics_enabled: bool = False
+    trace_path: Optional[str] = None
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -153,3 +165,5 @@ class WorkflowConfig:
             raise ValueError("streaming_aggregation_scope must be 'component' or 'global'")
         if not 0.0 <= self.decision_threshold <= 1.0:
             raise ValueError("decision_threshold must be in [0, 1]")
+        if self.trace_path is not None and not str(self.trace_path):
+            raise ValueError("trace_path must be a non-empty path or None")

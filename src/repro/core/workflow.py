@@ -15,8 +15,10 @@
 
 from __future__ import annotations
 
+import logging
 from typing import Dict, FrozenSet, Iterable, Optional, Tuple
 
+from repro import obs
 from repro.aggregation.dawid_skene import DawidSkeneAggregator
 from repro.aggregation.majority import MajorityAggregator
 from repro.core.config import WorkflowConfig
@@ -35,6 +37,8 @@ from repro.records.record import RecordStore
 from repro.simjoin.likelihood import LikelihoodEstimator, SimJoinLikelihood
 
 PairKey = Tuple[str, str]
+
+logger = logging.getLogger(__name__)
 
 
 def build_hit_generator(config: WorkflowConfig):
@@ -105,6 +109,7 @@ class HybridWorkflow:
                 seed=self.config.seed,
                 vote_mode=self.config.vote_mode,
             )
+        obs.activate_if_configured(self.config)
 
     # -------------------------------------------------------------- stages
     def machine_candidates(self, dataset: Dataset) -> PairSet:
@@ -117,7 +122,8 @@ class HybridWorkflow:
 
     def generate_hits(self, candidates: PairSet):
         """Stage 2: batch the surviving pairs into HITs."""
-        return build_hit_generator(self.config).generate(candidates)
+        with obs.span("workflow.hit_generation", pairs=len(candidates)):
+            return build_hit_generator(self.config).generate(candidates)
 
     def _aggregator(self):
         return build_aggregator(self.config)
@@ -125,10 +131,24 @@ class HybridWorkflow:
     # ----------------------------------------------------------------- run
     def resolve(self, dataset: Dataset) -> ResolutionResult:
         """Run the full workflow on a dataset and return the result."""
-        candidates = self.machine_candidates(dataset)
-        batch = self.generate_hits(candidates)
-        crowd_run = self.platform.publish(batch, true_matches=dataset.ground_truth)
-        posteriors = self._aggregator().aggregate(crowd_run.votes)
+        logger.debug(
+            "resolving dataset with %d records (threshold %.2f, %s HITs)",
+            len(dataset.store), self.config.likelihood_threshold, self.config.hit_type,
+        )
+        with obs.span("workflow.resolve", records=len(dataset.store)):
+            with obs.span("workflow.machine_pass"):
+                candidates = self.machine_candidates(dataset)
+            batch = self.generate_hits(candidates)
+            with obs.span("workflow.crowd", hits=batch.hit_count):
+                crowd_run = self.platform.publish(
+                    batch, true_matches=dataset.ground_truth
+                )
+            with obs.span(
+                "workflow.aggregate",
+                aggregator=self.config.aggregation,
+                votes=len(crowd_run.votes),
+            ):
+                posteriors = self._aggregator().aggregate(crowd_run.votes)
 
         likelihoods: Dict[PairKey, float] = {
             pair.key: pair.likelihood or 0.0 for pair in candidates

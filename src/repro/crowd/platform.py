@@ -15,6 +15,7 @@ import random
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
 
+from repro import obs
 from repro.crowd.latency import LatencyEstimate, LatencyModel
 from repro.crowd.pricing import PricingModel
 from repro.crowd.qualification import QualificationTest
@@ -160,10 +161,11 @@ class SimulatedCrowdPlatform:
         if batch.hit_type == "pair" and batch.hits:
             pairs_per_hit = max(hit.size for hit in batch.hits)  # type: ignore[attr-defined]
 
-        if self.vote_mode == "per-pair":
-            self._publish_per_pair(batch, truth, candidates, vote_rounds, rng, result)
-        else:
-            self._publish_sequential(batch, truth, candidates, rng, result)
+        with obs.span("crowd.publish", hits=batch.hit_count, mode=self.vote_mode):
+            if self.vote_mode == "per-pair":
+                self._publish_per_pair(batch, truth, candidates, vote_rounds, rng, result)
+            else:
+                self._publish_sequential(batch, truth, candidates, rng, result)
 
         result.cost = self.pricing.total_cost(batch.hit_count, self.assignments_per_hit)
         result.latency = self.latency.estimate(
@@ -172,6 +174,23 @@ class SimulatedCrowdPlatform:
             pairs_per_hit=pairs_per_hit,
             qualification=self.qualification is not None,
         )
+        # The paper's headline cost metrics, per publish call.  HITs issued
+        # here accumulate exactly like the sessions' own hit counters, so a
+        # cost report's HIT count always equals the session's real total.
+        if obs.enabled():
+            obs.inc("hits_issued_total", batch.hit_count,
+                    help="HITs published to the (simulated) crowd platform.")
+            obs.inc("crowd_assignments_total", len(result.assignment_seconds),
+                    help="Completed crowd assignments (replicated HITs).")
+            obs.inc("crowd_votes_total", len(result.votes),
+                    help="Per-pair votes collected from the crowd.")
+            obs.inc("crowd_cost_dollars_total", result.cost,
+                    help="Simulated crowd cost in dollars.")
+            obs.inc("crowd_work_seconds_total", sum(result.assignment_seconds),
+                    help="Simulated worker-seconds spent on assignments.")
+            if result.latency is not None:
+                obs.inc("crowd_elapsed_minutes_total", result.latency.total_minutes,
+                        help="Simulated end-to-end crowd latency in minutes.")
         return result
 
     def _publish_sequential(

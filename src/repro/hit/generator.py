@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from typing import Callable, Dict, List, Sequence
 
+from repro import obs
 from repro.hit.base import ClusterBasedHIT, HITBatch
 from repro.records.pairs import PairSet
 
@@ -28,11 +29,17 @@ class ClusterHITGenerator:
 
     def generate(self, pairs: PairSet) -> HITBatch:
         """Generate the cluster-based HIT batch for the candidate pairs."""
-        clusters = self._clusters(pairs)
+        with obs.span("hit.cluster", generator=self.name, pairs=len(pairs)):
+            clusters = self._clusters(pairs)
         hits = [
             ClusterBasedHIT(hit_id=f"{self.name}-hit-{index + 1}", records=tuple(cluster))
             for index, cluster in enumerate(clusters)
         ]
+        if obs.enabled():
+            obs.inc("hit_pairs_packed_total", len(pairs), generator=self.name,
+                    help="Candidate pairs packed into generated HITs.")
+            obs.inc("hits_generated_total", len(hits), generator=self.name,
+                    help="HITs produced by the generators.")
         return HITBatch(
             hit_type="cluster",
             hits=list(hits),

@@ -19,6 +19,7 @@ from __future__ import annotations
 import math
 from typing import List
 
+from repro import obs
 from repro.hit.base import HITBatch, PairBasedHIT
 from repro.records.pairs import PairSet
 from repro.simjoin.columnar import argsort_descending
@@ -60,6 +61,11 @@ class PairHITGenerator:
                     pairs=tuple(chunk),
                 )
             )
+        if obs.enabled():
+            obs.inc("hit_pairs_packed_total", len(keys), generator=self.name,
+                    help="Candidate pairs packed into generated HITs.")
+            obs.inc("hits_generated_total", len(hits), generator=self.name,
+                    help="HITs produced by the generators.")
         return HITBatch(
             hit_type="pair",
             hits=list(hits),

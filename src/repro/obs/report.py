@@ -1,0 +1,258 @@
+"""Per-session cost reports: HITs, votes, machine vs. crowd time split.
+
+The paper's headline claims are cost claims, so this module turns raw
+metrics into the numbers an operator actually asks for: how many HITs a
+session issued, how many votes came back, what the simulated crowd cost,
+and how the time divides between the machine pass (real wall-clock spent in
+instrumented spans) and the simulated crowd (worker-seconds and round-trip
+latency from the latency model).
+
+A report can be built from three sources (the CLI ``repro stats`` command
+accepts all three):
+
+* :meth:`CostReport.from_snapshot` — a live :class:`~repro.obs.metrics.MetricsSnapshot`;
+* :meth:`CostReport.from_store` — a SQLite session store (works even for
+  runs without ``metrics_enabled``: the session meta and vote ledger are
+  enough for the crowd-side numbers, machine timings are just absent);
+* :meth:`CostReport.from_trace` — a JSONL trace file written via
+  ``WorkflowConfig.trace_path``.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from .metrics import MetricsSnapshot
+
+#: Top-level (never-nested) span names; their histogram totals sum to the
+#: real wall-clock the machine spent resolving, without double-counting the
+#: sub-spans nested inside them.
+MACHINE_ROOT_SPANS = (
+    "workflow.resolve",
+    "streaming.batch",
+    "streaming.retract",
+    "streaming.flush",
+    "streaming.restore",
+)
+
+
+@dataclass
+class CostReport:
+    """One session's cost accounting, ready to render or serialise."""
+
+    source: str = ""
+    hits_issued: int = 0
+    assignments: int = 0
+    votes: int = 0
+    crowd_cost_dollars: float = 0.0
+    #: Simulated worker-seconds (sum of per-assignment durations).
+    crowd_work_seconds: float = 0.0
+    #: Simulated end-to-end crowd latency in minutes (latency-model output).
+    crowd_elapsed_minutes: float = 0.0
+    #: Real wall-clock seconds spent inside top-level machine spans; None
+    #: when the run had no metrics (e.g. a store written without
+    #: ``metrics_enabled``).
+    machine_seconds: Optional[float] = None
+    #: Per-span ``(calls, total_seconds)`` breakdown, all spans.
+    phase_seconds: Dict[str, Tuple[int, float]] = field(default_factory=dict)
+    #: Streaming counters of record (``streaming_*`` totals).
+    counters: Dict[str, float] = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return {
+            "source": self.source,
+            "hits_issued": self.hits_issued,
+            "assignments": self.assignments,
+            "votes": self.votes,
+            "crowd_cost_dollars": self.crowd_cost_dollars,
+            "crowd_work_seconds": self.crowd_work_seconds,
+            "crowd_elapsed_minutes": self.crowd_elapsed_minutes,
+            "machine_seconds": self.machine_seconds,
+            "phase_seconds": {
+                name: {"calls": calls, "seconds": seconds}
+                for name, (calls, seconds) in sorted(self.phase_seconds.items())
+            },
+            "counters": dict(sorted(self.counters.items())),
+        }
+
+    # ------------------------------------------------------------- builders
+    @classmethod
+    def from_snapshot(
+        cls,
+        snapshot: MetricsSnapshot,
+        source: str = "snapshot",
+        session_meta: Optional[Mapping] = None,
+    ) -> "CostReport":
+        report = cls(source=source)
+        report.hits_issued = int(snapshot.counter_total("hits_issued_total"))
+        report.assignments = int(snapshot.counter_total("crowd_assignments_total"))
+        report.votes = int(snapshot.counter_total("crowd_votes_total"))
+        report.crowd_cost_dollars = snapshot.counter_total("crowd_cost_dollars_total")
+        report.crowd_work_seconds = snapshot.counter_total("crowd_work_seconds_total")
+        report.crowd_elapsed_minutes = snapshot.counter_total("crowd_elapsed_minutes_total")
+        spans = snapshot.get("span_seconds")
+        machine = 0.0
+        if spans is not None:
+            for sample in spans["samples"]:
+                name = sample["labels"].get("span", "")
+                calls, seconds = report.phase_seconds.get(name, (0, 0.0))
+                report.phase_seconds[name] = (
+                    calls + sample["count"], seconds + sample["sum"]
+                )
+            machine = sum(
+                seconds
+                for name, (_, seconds) in report.phase_seconds.items()
+                if name in MACHINE_ROOT_SPANS
+            )
+        report.machine_seconds = machine if report.phase_seconds else None
+        for metric in snapshot.metrics:
+            if metric["kind"] == "counter" and metric["name"].startswith("streaming_"):
+                report.counters[metric["name"]] = sum(
+                    sample["value"] for sample in metric["samples"]
+                )
+        if session_meta:
+            report._fold_session_meta(session_meta)
+        return report
+
+    def _fold_session_meta(self, meta: Mapping) -> None:
+        """Fill crowd-side numbers the snapshot lacks from session meta."""
+        if not self.hits_issued:
+            self.hits_issued = int(meta.get("hit_count", 0))
+        if not self.crowd_cost_dollars:
+            self.crowd_cost_dollars = float(meta.get("cost", 0.0))
+
+    @classmethod
+    def from_store(cls, path: str) -> "CostReport":
+        """Build from a SQLite session store file (``store.sqlite``)."""
+        from repro.storage.sqlite import SqliteStore
+
+        store = SqliteStore(path)
+        try:
+            if store.get_meta("version") is None:
+                raise ValueError(f"{path} does not hold a resolution session")
+            session_meta = store.get_meta("session") or {}
+            metrics_payload = store.get_meta("metrics")
+            assignment_seconds = store.load_assignment_seconds()
+            ledger_votes = sum(len(votes) for votes in store.ledger.votes.values())
+        finally:
+            store.close()
+        if metrics_payload is not None:
+            report = cls.from_snapshot(
+                MetricsSnapshot.from_dict(metrics_payload),
+                source=f"store {path}",
+                session_meta=session_meta,
+            )
+        else:
+            report = cls(source=f"store {path}")
+            report.hits_issued = int(session_meta.get("hit_count", 0))
+            report.crowd_cost_dollars = float(session_meta.get("cost", 0.0))
+        if not report.assignments:
+            report.assignments = len(assignment_seconds)
+        if not report.votes:
+            report.votes = ledger_votes
+        if not report.crowd_work_seconds:
+            report.crowd_work_seconds = float(sum(assignment_seconds))
+        return report
+
+    @classmethod
+    def from_trace(cls, path: str) -> "CostReport":
+        """Build from a JSONL trace file (``WorkflowConfig.trace_path``).
+
+        Prefers the final ``snapshot`` event a clean ``obs.deactivate()``
+        appends; a truncated trace (crash, still-running session) falls
+        back to replaying the counter and span events seen so far.
+        """
+        snapshot_payload: Optional[dict] = None
+        counters: Dict[Tuple[str, Tuple[Tuple[str, str], ...]], float] = {}
+        spans: Dict[str, Tuple[int, float]] = {}
+        with open(path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                event = json.loads(line)
+                kind = event.get("type")
+                if kind == "snapshot":
+                    snapshot_payload = event["metrics"]
+                elif kind == "counter":
+                    labels = tuple(sorted((event.get("labels") or {}).items()))
+                    key = (event["name"], labels)
+                    counters[key] = counters.get(key, 0.0) + event["value"]
+                elif kind == "span":
+                    calls, seconds = spans.get(event["name"], (0, 0.0))
+                    spans[event["name"]] = (calls + 1, seconds + event["seconds"])
+        if snapshot_payload is not None:
+            return cls.from_snapshot(
+                MetricsSnapshot.from_dict(snapshot_payload), source=f"trace {path}"
+            )
+        report = cls(source=f"trace {path} (no final snapshot; replayed events)")
+
+        def total(name: str) -> float:
+            return sum(value for (key, _), value in counters.items() if key == name)
+
+        report.hits_issued = int(total("hits_issued_total"))
+        report.assignments = int(total("crowd_assignments_total"))
+        report.votes = int(total("crowd_votes_total"))
+        report.crowd_cost_dollars = total("crowd_cost_dollars_total")
+        report.crowd_work_seconds = total("crowd_work_seconds_total")
+        report.crowd_elapsed_minutes = total("crowd_elapsed_minutes_total")
+        report.phase_seconds = spans
+        report.machine_seconds = (
+            sum(
+                seconds
+                for name, (_, seconds) in spans.items()
+                if name in MACHINE_ROOT_SPANS
+            )
+            if spans
+            else None
+        )
+        report.counters = {
+            name: value
+            for (name, _), value in sorted(counters.items())
+            if name.startswith("streaming_")
+        }
+        return report
+
+    # ------------------------------------------------------------ rendering
+    def render(self) -> str:
+        lines: List[str] = [f"Session cost report — {self.source}"]
+        lines.append(f"  HITs issued            : {self.hits_issued}")
+        lines.append(f"  assignments            : {self.assignments}")
+        lines.append(f"  votes collected        : {self.votes}")
+        lines.append(f"  crowd cost             : ${self.crowd_cost_dollars:.2f}")
+        lines.append(
+            f"  crowd work (simulated) : {self.crowd_work_seconds:.1f} worker-seconds"
+        )
+        if self.crowd_elapsed_minutes:
+            lines.append(
+                f"  crowd latency (simulated): {self.crowd_elapsed_minutes:.1f} min"
+            )
+        if self.machine_seconds is None:
+            lines.append("  machine time           : n/a (run without metrics_enabled)")
+        else:
+            lines.append(f"  machine time           : {self.machine_seconds:.3f} s")
+            simulated = self.crowd_work_seconds
+            total_time = self.machine_seconds + simulated
+            if total_time > 0:
+                machine_pct = 100.0 * self.machine_seconds / total_time
+                lines.append(
+                    f"  machine vs crowd split : {machine_pct:.1f}% machine / "
+                    f"{100.0 - machine_pct:.1f}% crowd (of "
+                    f"{total_time:.1f} combined seconds)"
+                )
+        if self.counters:
+            lines.append("  streaming counters:")
+            for name, value in sorted(self.counters.items()):
+                lines.append(f"    {name:<42} {value:g}")
+        if self.phase_seconds:
+            lines.append("  phase timings (wall-clock):")
+            ranked = sorted(
+                self.phase_seconds.items(), key=lambda item: -item[1][1]
+            )
+            for name, (calls, seconds) in ranked:
+                lines.append(
+                    f"    {name:<34} {seconds:9.4f} s over {calls} span(s)"
+                )
+        return "\n".join(lines)

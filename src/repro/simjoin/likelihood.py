@@ -13,6 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional, Sequence, Tuple
 
+from repro import obs
 from repro.records.pairs import PairSet
 from repro.records.record import RecordStore
 from repro.similarity.record_similarity import RecordSimilarity
@@ -79,12 +80,17 @@ class SimJoinLikelihood(LikelihoodEstimator):
             threshold=min_likelihood,
             workers=self.workers,
         )
-        pairs = engine.join(
-            store,
-            min_likelihood,
-            attributes=self.attributes,
-            cross_sources=cross_sources,
-        )
+        resolved = type(engine).__name__
+        with obs.span("simjoin.estimate", backend=resolved, records=len(store)):
+            pairs = engine.join(
+                store,
+                min_likelihood,
+                attributes=self.attributes,
+                cross_sources=cross_sources,
+            )
+        if obs.enabled():
+            obs.inc("simjoin_candidates_total", len(pairs), backend=resolved,
+                    help="Candidate pairs at or above the likelihood threshold.")
         # The engines discover identical pairs in different orders, and
         # PairSet insertion order feeds downstream tie-breaking (cluster-HIT
         # grouping of equal-likelihood pairs).  Canonicalize so resolution

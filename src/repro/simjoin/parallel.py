@@ -36,10 +36,12 @@ from __future__ import annotations
 import math
 import multiprocessing
 import os
+import time
 from typing import Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro import obs
 from repro.records.pairs import PairSet
 from repro.records.record import RecordStore
 from repro.simjoin.vectorized import HAVE_SCIPY, VectorizedSimJoin, _BlockPairs
@@ -142,10 +144,14 @@ def _init_self_shard(payload: dict) -> None:
     )
 
 
-def _self_shard(bounds: Tuple[int, int]) -> _BlockPairs:
+def _self_shard(bounds: Tuple[int, int]) -> Tuple[_BlockPairs, float, int]:
+    # Shard timing is measured inside the worker (the forked copy of the
+    # obs runtime is inert, so a plain perf_counter pair travels back with
+    # the result and the parent records it).
+    started = time.perf_counter()
     start, stop = bounds
     state = _SHARD_STATE
-    return _concat_blocks(
+    blocks = _concat_blocks(
         list(
             state["join"]._self_range_blocks(
                 state["sub"], state["sub_t"], state["sub_sizes"],
@@ -153,6 +159,7 @@ def _self_shard(bounds: Tuple[int, int]) -> _BlockPairs:
             )
         )
     )
+    return blocks, time.perf_counter() - started, os.getpid()
 
 
 def _init_bipartite_shard(payload: dict) -> None:
@@ -173,10 +180,11 @@ def _init_bipartite_shard(payload: dict) -> None:
     )
 
 
-def _bipartite_shard(bounds: Tuple[int, int]) -> _BlockPairs:
+def _bipartite_shard(bounds: Tuple[int, int]) -> Tuple[_BlockPairs, float, int]:
+    started = time.perf_counter()
     start, stop = bounds
     state = _SHARD_STATE
-    return _concat_blocks(
+    blocks = _concat_blocks(
         list(
             state["join"]._bipartite_range_blocks(
                 state["left_matrix"], state["right_t"],
@@ -186,6 +194,7 @@ def _bipartite_shard(bounds: Tuple[int, int]) -> _BlockPairs:
             )
         )
     )
+    return blocks, time.perf_counter() - started, os.getpid()
 
 
 def _init_new_vs_old(payload: dict) -> None:
@@ -201,7 +210,8 @@ def _init_new_vs_old(payload: dict) -> None:
     )
 
 
-def _new_vs_old_shard(bounds: Tuple[int, int]) -> _BlockPairs:
+def _new_vs_old_shard(bounds: Tuple[int, int]) -> Tuple[_BlockPairs, float, int]:
+    started = time.perf_counter()
     start, stop = bounds
     state = _SHARD_STATE
     parts = [
@@ -213,7 +223,7 @@ def _new_vs_old_shard(bounds: Tuple[int, int]) -> _BlockPairs:
         )
         for block_start in range(start, stop, state["block_size"])
     ]
-    return _concat_blocks(parts)
+    return _concat_blocks(parts), time.perf_counter() - started, os.getpid()
 
 
 def score_new_vs_old_block(
@@ -241,16 +251,32 @@ def score_new_vs_old_block(
     return rows[passing], cols[passing], values[passing]
 
 
-def _map_shards(initializer, payload: dict, worker, bounds, workers: int):
-    """Run shard tasks over a pool; results come back in shard order."""
+def _map_shards(initializer, payload: dict, worker, bounds, workers: int, kind: str = ""):
+    """Run shard tasks over a pool; results come back in shard order.
+
+    Each worker reports its shard's compute seconds and PID alongside the
+    pair blocks; the parent folds those per-worker timings into the obs
+    registry (workers cannot — their forked runtime copy is inert).
+    """
     processes = min(workers, len(bounds))
     context = _fork_context()
-    with context.Pool(
-        processes=processes, initializer=initializer, initargs=(payload,)
-    ) as pool:
-        # chunksize=1: shards are coarse already, and dynamic hand-out
-        # balances the self-join triangle skew across workers.
-        return pool.map(worker, bounds, chunksize=1)
+    with obs.span(
+        "simjoin.parallel.map", kind=kind, shards=len(bounds), workers=processes
+    ):
+        with context.Pool(
+            processes=processes, initializer=initializer, initargs=(payload,)
+        ) as pool:
+            # chunksize=1: shards are coarse already, and dynamic hand-out
+            # balances the self-join triangle skew across workers.
+            outcomes = pool.map(worker, bounds, chunksize=1)
+    if obs.enabled():
+        for blocks, seconds, pid in outcomes:
+            obs.inc("simjoin_parallel_shards_total", 1, kind=kind,
+                    help="Row shards processed by the parallel join pool.")
+            obs.observe("simjoin_parallel_shard_seconds", seconds,
+                        kind=kind, worker=pid,
+                        help="Per-worker compute seconds of one row shard.")
+    return [blocks for blocks, _, _ in outcomes]
 
 
 def parallel_new_vs_old_blocks(
@@ -278,7 +304,10 @@ def parallel_new_vs_old_blocks(
         threshold=threshold,
         block_size=block_size,
     )
-    yield from _map_shards(_init_new_vs_old, payload, _new_vs_old_shard, bounds, workers)
+    yield from _map_shards(
+        _init_new_vs_old, payload, _new_vs_old_shard, bounds, workers,
+        kind="new_vs_old",
+    )
 
 
 # ----------------------------------------------------------- parent side
@@ -342,7 +371,8 @@ class ParallelSimJoin(VectorizedSimJoin):
                     right_index=second,
                 )
                 yield from _map_shards(
-                    _init_bipartite_shard, payload, _bipartite_shard, bounds, workers
+                    _init_bipartite_shard, payload, _bipartite_shard, bounds,
+                    workers, kind="bipartite",
                 )
         elif row_count >= 2:
             sub = matrix[first]
@@ -355,7 +385,8 @@ class ParallelSimJoin(VectorizedSimJoin):
                 keep=first,
             )
             yield from _map_shards(
-                _init_self_shard, payload, _self_shard, bounds, workers
+                _init_self_shard, payload, _self_shard, bounds, workers,
+                kind="self",
             )
         if self.threshold > 0.0:
             yield from self._empty_pair_blocks(sizes, plan)

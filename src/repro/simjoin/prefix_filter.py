@@ -30,6 +30,7 @@ import math
 from collections import defaultdict
 from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
 
+from repro import obs
 from repro.records.pairs import PairSet, RecordPair
 from repro.records.record import RecordStore
 from repro.records.tokenize import WhitespaceTokenizer, record_token_set
@@ -98,6 +99,10 @@ class PrefixFilterJoin:
         # on the two set sizes, so the bound is computed once per observed
         # |y| rather than once per collision.
         overlap_coefficient = self.threshold / (1.0 + self.threshold)
+        # Filter-effectiveness tallies, accumulated as plain ints in the hot
+        # loop and emitted once at the end (pruning ratios for repro.obs).
+        length_pruned = 0
+        position_pruned = 0
         for record_id in probe_order:
             tokens = sorted_tokens[record_id]
             size = len(tokens)
@@ -121,6 +126,7 @@ class PrefixFilterJoin:
                     stale += 1
                 if stale:
                     del entries[:stale]
+                    length_pruned += stale
                 for other_id, other_size, other_position in entries:
                     seen = overlaps.get(other_id, 0)
                     if seen == _PRUNED:
@@ -134,6 +140,7 @@ class PrefixFilterJoin:
                         required_by_size[other_size] = required
                     if bound < required:
                         overlaps[other_id] = _PRUNED  # positional filter
+                        position_pruned += 1
                         continue
                     overlaps[other_id] = seen + 1
                 entries.append((record_id, size, position))
@@ -163,6 +170,15 @@ class PrefixFilterJoin:
                 ):
                     continue
                 result.add(RecordPair(empty_ids[i], empty_ids[j], likelihood=1.0))
+        if obs.enabled():
+            obs.inc("simjoin_prefix_length_pruned_total", length_pruned,
+                    help="Stale postings removed by the length filter.")
+            obs.inc("simjoin_prefix_position_pruned_total", position_pruned,
+                    help="Candidates discarded by the PPJoin positional filter.")
+            obs.inc("simjoin_prefix_verified_total", len(candidates),
+                    help="Candidates that reached exact Jaccard verification.")
+            obs.inc("simjoin_prefix_passed_total", len(result),
+                    help="Pairs at or above threshold after verification.")
         return result
 
     # ------------------------------------------------------------- internals

@@ -34,6 +34,7 @@ try:  # scipy ships with the toolchain, but keep the import gated so the
 except ImportError:  # pragma: no cover - scipy is part of the image
     sparse = None
 
+from repro import obs
 from repro.records.pairs import PairSet, RecordPair
 from repro.records.record import Record, RecordStore
 from repro.records.tokenize import WhitespaceTokenizer, record_token_set
@@ -162,16 +163,17 @@ class VectorizedSimJoin:
 
     def _incidence_matrix(self, store: RecordStore) -> "sparse.csr_matrix":
         """Binary records-x-vocabulary CSR matrix of token memberships."""
-        token_sets = [
-            record_token_set(record, self.attributes, self._tokenizer)
-            for record in store
-        ]
-        indices, indptr, width = columnar_csr_arrays(token_sets)
-        matrix = sparse.csr_matrix(
-            (np.ones(len(indices), dtype=np.int32), indices, indptr),
-            shape=(len(token_sets), max(1, width)),
-        )
-        matrix.sort_indices()
+        with obs.span("simjoin.vectorized.index_build", records=len(store)):
+            token_sets = [
+                record_token_set(record, self.attributes, self._tokenizer)
+                for record in store
+            ]
+            indices, indptr, width = columnar_csr_arrays(token_sets)
+            matrix = sparse.csr_matrix(
+                (np.ones(len(indices), dtype=np.int32), indices, indptr),
+                shape=(len(token_sets), max(1, width)),
+            )
+            matrix.sort_indices()
         return matrix
 
     def _similarity(
@@ -221,27 +223,31 @@ class VectorizedSimJoin:
         count = keep.size
         for start in range(start_pos, stop_pos, self.block_size):
             end = min(start + self.block_size, stop_pos)
-            inter_block = sub[start:end] @ sub_t
-            if self.threshold <= 0.0:
-                # Every pair must be materialised: densify the block.
-                inter = np.asarray(inter_block.todense())
-                rows_local = np.arange(start, end)
-                triangle = np.arange(count)[None, :] > rows_local[:, None]
-                rows, cols = np.nonzero(triangle)
-                rows += start
-                values = self._similarity(
-                    inter[rows - start, cols], sub_sizes[rows], sub_sizes[cols]
-                )
-                yield keep[rows], keep[cols], values
-                continue
-            coo = inter_block.tocoo()
-            rows = coo.row.astype(np.int64) + start
-            cols = coo.col.astype(np.int64)
-            upper = cols > rows
-            rows, cols, inter = rows[upper], cols[upper], coo.data[upper]
-            values = self._similarity(inter, sub_sizes[rows], sub_sizes[cols])
-            passing = values >= self.threshold
-            yield keep[rows[passing]], keep[cols[passing]], values[passing]
+            # The span covers only this block's matmul + filtering, not the
+            # consumer of the yielded pairs.
+            with obs.span("simjoin.vectorized.block", kind="self", rows=end - start):
+                inter_block = sub[start:end] @ sub_t
+                if self.threshold <= 0.0:
+                    # Every pair must be materialised: densify the block.
+                    inter = np.asarray(inter_block.todense())
+                    rows_local = np.arange(start, end)
+                    triangle = np.arange(count)[None, :] > rows_local[:, None]
+                    rows, cols = np.nonzero(triangle)
+                    rows += start
+                    values = self._similarity(
+                        inter[rows - start, cols], sub_sizes[rows], sub_sizes[cols]
+                    )
+                    block = (keep[rows], keep[cols], values)
+                else:
+                    coo = inter_block.tocoo()
+                    rows = coo.row.astype(np.int64) + start
+                    cols = coo.col.astype(np.int64)
+                    upper = cols > rows
+                    rows, cols, inter = rows[upper], cols[upper], coo.data[upper]
+                    values = self._similarity(inter, sub_sizes[rows], sub_sizes[cols])
+                    passing = values >= self.threshold
+                    block = (keep[rows[passing]], keep[cols[passing]], values[passing])
+            yield block
 
     def _bipartite_blocks(
         self,
@@ -278,22 +284,28 @@ class VectorizedSimJoin:
         """Cross-source pair blocks for left-row positions [start, stop)."""
         for start in range(start_pos, stop_pos, self.block_size):
             end = min(start + self.block_size, stop_pos)
-            inter_block = left_matrix[start:end] @ right_t
-            if self.threshold <= 0.0:
-                inter = np.asarray(inter_block.todense())
-                rows, cols = np.divmod(np.arange(inter.size), inter.shape[1])
-                rows += start
-                values = self._similarity(
-                    inter.ravel(), left_sizes[rows], right_sizes[cols]
-                )
-                yield left[rows], right[cols], values
-                continue
-            coo = inter_block.tocoo()
-            rows = coo.row.astype(np.int64) + start
-            cols = coo.col.astype(np.int64)
-            values = self._similarity(coo.data, left_sizes[rows], right_sizes[cols])
-            passing = values >= self.threshold
-            yield left[rows[passing]], right[cols[passing]], values[passing]
+            with obs.span(
+                "simjoin.vectorized.block", kind="bipartite", rows=end - start
+            ):
+                inter_block = left_matrix[start:end] @ right_t
+                if self.threshold <= 0.0:
+                    inter = np.asarray(inter_block.todense())
+                    rows, cols = np.divmod(np.arange(inter.size), inter.shape[1])
+                    rows += start
+                    values = self._similarity(
+                        inter.ravel(), left_sizes[rows], right_sizes[cols]
+                    )
+                    block = (left[rows], right[cols], values)
+                else:
+                    coo = inter_block.tocoo()
+                    rows = coo.row.astype(np.int64) + start
+                    cols = coo.col.astype(np.int64)
+                    values = self._similarity(
+                        coo.data, left_sizes[rows], right_sizes[cols]
+                    )
+                    passing = values >= self.threshold
+                    block = (left[rows[passing]], right[cols[passing]], values[passing])
+            yield block
 
     def _empty_pair_blocks(
         self, sizes: np.ndarray, plan: JoinPlan

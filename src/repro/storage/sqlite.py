@@ -38,6 +38,7 @@ from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tupl
 
 import numpy as np
 
+from repro import obs
 from repro.records.record import Record
 from repro.storage.base import JoinRow, PairKey, PairLedger, Store, StorageError, Vote
 
@@ -299,6 +300,9 @@ class SqliteStore(Store):
         if self._in_txn:
             self._conn.execute("COMMIT")
             self._in_txn = False
+            if obs.enabled():
+                obs.inc("sqlite_commits_total", 1,
+                        help="Transactions committed by the SQLite store.")
 
     def rollback(self) -> None:
         """Abandon the open transaction (crash-simulation hooks in tests)."""

@@ -39,6 +39,7 @@ import numpy as np
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.storage.base import Store
 
+from repro import obs
 from repro.records.pairs import PairSet, RecordPair
 from repro.records.record import Record, RecordError, RecordStore
 from repro.records.tokenize import WhitespaceTokenizer, record_token_set
@@ -249,10 +250,18 @@ class IncrementalSimJoin:
 
         delta = PairSet()
         if self._record_ids and batch:
-            self._join_new_vs_old(batch, new_tokens, delta, batch_indices, batch_indptr)
+            with obs.span(
+                "streaming.join.new_vs_old",
+                batch=len(batch), resident=len(self._record_ids),
+            ):
+                self._join_new_vs_old(
+                    batch, new_tokens, delta, batch_indices, batch_indptr
+                )
         if len(batch) >= 2:
-            self._join_new_vs_new(batch, delta)
-        self._index_batch(batch, new_tokens, batch_indices, batch_indptr, novel)
+            with obs.span("streaming.join.new_vs_new", batch=len(batch)):
+                self._join_new_vs_new(batch, delta)
+        with obs.span("streaming.join.index", batch=len(batch)):
+            self._index_batch(batch, new_tokens, batch_indices, batch_indptr, novel)
         # Canonical order (the same rule as SimJoinLikelihood.estimate), so
         # downstream tie-breaking is independent of discovery order.
         return PairSet(
@@ -339,6 +348,11 @@ class IncrementalSimJoin:
         self._dead_rows = set()
         if self._offload:
             self._mirror_replace()
+        if obs.enabled():
+            obs.inc("streaming_join_compactions_total", 1,
+                    help="CSR compaction passes over the incremental join index.")
+            obs.inc("streaming_join_rows_compacted_total", dropped,
+                    help="Tombstoned rows physically dropped by compaction.")
         return dropped
 
     def _mirror_replace(self) -> None:

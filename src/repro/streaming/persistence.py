@@ -60,12 +60,14 @@ import json
 import os
 import pickle
 import re
+import time
 import zlib
 from dataclasses import dataclass
 from hashlib import sha256
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro import obs
 from repro.records.record import Record
 
 JOURNAL_FILENAME = "journal.jsonl"
@@ -231,11 +233,22 @@ class SessionJournal:
             sort_keys=True,
             separators=(",", ":"),
         )
+        started = time.perf_counter()
         with open(self.path, "a", encoding="utf-8") as handle:
             handle.write(line + "\n")
             handle.flush()
             if self.sync:
                 os.fsync(handle.fileno())
+        if obs.enabled():
+            obs.inc("journal_appends_total", 1, type=event_type,
+                    help="Events appended to the write-ahead journal.")
+            obs.inc("journal_bytes_written_total", len(line.encode("utf-8")) + 1,
+                    help="Bytes appended to the write-ahead journal.")
+            if self.sync:
+                obs.inc("journal_fsyncs_total", 1,
+                        help="fsync calls issued by journal appends.")
+            obs.observe("journal_append_seconds", time.perf_counter() - started,
+                        help="Wall time of one journal append (write+flush+fsync).")
         self._events.append(JournalEvent(seq=seq, type=event_type, payload=payload))
         self._next_seq += 1
         if self._active_first_seq is None:
@@ -299,6 +312,9 @@ class SessionJournal:
         self._active_first_seq = None
         self._active_last_seq = None
         self._active_count = 0
+        if obs.enabled():
+            obs.inc("journal_rotations_total", 1,
+                    help="Active-journal rotations into closed segments.")
 
     def compact_covered(self, covered_seq: int) -> List[Path]:
         """Archive every closed segment fully covered by ``covered_seq``.
@@ -331,6 +347,9 @@ class SessionJournal:
             self._events = [
                 event for event in self._events if event.seq >= first_kept
             ]
+            if obs.enabled():
+                obs.inc("journal_segments_archived_total", len(archived),
+                        help="Closed journal segments moved into archive/.")
         return archived
 
     # -------------------------------------------------------------- parsing
@@ -453,7 +472,13 @@ def write_snapshot(
         pickle.dump(payload, handle, protocol=pickle.HIGHEST_PROTOCOL)
         handle.flush()
         os.fsync(handle.fileno())
+        snapshot_bytes = handle.tell()
     os.replace(temporary, target)
+    if obs.enabled():
+        obs.inc("snapshot_writes_total", 1,
+                help="Compacted session snapshots written.")
+        obs.inc("snapshot_bytes_written_total", snapshot_bytes,
+                help="Bytes written by session snapshots.")
     if not keep_old:
         for name in os.listdir(directory):
             match = SNAPSHOT_PATTERN.match(name)

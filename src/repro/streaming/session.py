@@ -59,10 +59,12 @@ across randomized event schedules and crash points.
 
 from __future__ import annotations
 
+import logging
 from dataclasses import asdict, replace
 from pathlib import Path
 from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
 
+from repro import obs
 from repro.aggregation.majority import Vote
 from repro.core.config import WorkflowConfig
 from repro.core.ranking import rank_candidates
@@ -82,7 +84,26 @@ from repro.streaming import persistence
 from repro.streaming.incremental_join import IncrementalSimJoin
 from repro.streaming.provenance import ProvenanceLedger
 
+logger = logging.getLogger(__name__)
+
 PairKey = Tuple[str, str]
+
+#: StreamingDelta fields whose per-event values are meaningful to *sum*
+#: across events — surfaced as ``streaming_<field>_total`` counters.
+#: (``batch_index`` and the point-in-time gauges like ``clean_components``
+#: are deliberately absent: summing them means nothing.)
+DELTA_COUNTER_FIELDS = (
+    "new_records",
+    "new_candidate_pairs",
+    "dirty_components",
+    "dirty_pairs",
+    "regenerated_hits",
+    "crowdsourced_pairs",
+    "reused_vote_pairs",
+    "stale_skipped_components",
+    "invalidated_pairs",
+    "retracted_records",
+)
 
 #: Config fields that change *what a session computes* (as opposed to how
 #: fast or how durably).  Restoring a checkpoint under a config that
@@ -147,6 +168,7 @@ class StreamingResolver:
     ) -> None:
         self.config = config or WorkflowConfig()
         self.cross_sources = cross_sources
+        obs.activate_if_configured(self.config)
         if platform is not None:
             if platform.vote_mode != "per-pair":
                 raise ValueError(
@@ -447,84 +469,101 @@ class StreamingResolver:
         self._batch_index += 1
         delta = StreamingDelta(batch_index=self._batch_index, new_records=len(batch))
         self._last_fresh_votes = {}
+        logger.debug("batch %d: %d records arriving", self._batch_index, len(batch))
 
-        # Stage 1: incremental machine pass.
-        new_pairs = self.join.add_batch(batch)
-        for record in batch:
-            self.store.add(record)
-            self.components.add(record.record_id)
-            self.provenance.add_record(record.record_id)
-        delta.new_candidate_pairs = len(new_pairs)
+        with obs.span("streaming.batch", batch=len(batch), index=self._batch_index):
+            # Stage 1: incremental machine pass.
+            with obs.span("streaming.batch.join", batch=len(batch)):
+                new_pairs = self.join.add_batch(batch)
+                for record in batch:
+                    self.store.add(record)
+                    self.components.add(record.record_id)
+                    self.provenance.add_record(record.record_id)
+            delta.new_candidate_pairs = len(new_pairs)
 
-        # Stage 2: component maintenance (and pair provenance).
-        for pair in new_pairs:
-            self.candidates.add(pair)
-            self._ledger.add_pair(pair.key, pair.likelihood)
-            self.components.union(pair.id_a, pair.id_b)
-            self.provenance.record_pair(pair.id_a, pair.id_b, self._batch_index)
+            # Stage 2: component maintenance (and pair provenance).
+            with obs.span("streaming.batch.components", pairs=len(new_pairs)):
+                for pair in new_pairs:
+                    self.candidates.add(pair)
+                    self._ledger.add_pair(pair.key, pair.likelihood)
+                    self.components.union(pair.id_a, pair.id_b)
+                    self.provenance.record_pair(pair.id_a, pair.id_b, self._batch_index)
 
-        # Only dirty components are enumerated (their member lists are
-        # maintained by the union-find); clean components cost nothing here.
-        dirty_roots = self.components.dirty_roots()
-        dirty_pairs: Set[PairKey] = set()
-        for root in dirty_roots:
-            for member in self.components.members(root):
-                dirty_pairs.update(self.provenance.pairs_of(member))
-        delta.dirty_components = len(dirty_roots)
-        delta.clean_components = self.components.component_count - len(dirty_roots)
-        delta.dirty_pairs = len(dirty_pairs)
+                # Only dirty components are enumerated (their member lists
+                # are maintained by the union-find); clean components cost
+                # nothing here.
+                dirty_roots = self.components.dirty_roots()
+                dirty_pairs: Set[PairKey] = set()
+                for root in dirty_roots:
+                    for member in self.components.members(root):
+                        dirty_pairs.update(self.provenance.pairs_of(member))
+            delta.dirty_components = len(dirty_roots)
+            delta.clean_components = self.components.component_count - len(dirty_roots)
+            delta.dirty_pairs = len(dirty_pairs)
 
-        # Stages 3 + 4: regenerate HITs for dirty components and crowdsource.
-        if dirty_pairs:
-            self._crowdsource_dirty(dirty_pairs, delta)
+            # Stages 3 + 4: regenerate HITs for dirty components and crowdsource.
+            if dirty_pairs:
+                with obs.span("streaming.batch.crowd", pairs=len(dirty_pairs)):
+                    self._crowdsource_dirty(dirty_pairs, delta)
 
-        # Stage 5: re-aggregate what changed.
-        self._aggregate(dirty_pairs, delta)
+            # Stage 5: re-aggregate what changed.
+            with obs.span("streaming.batch.aggregate", pairs=len(dirty_pairs)):
+                self._aggregate(dirty_pairs, delta)
 
-        self.components.clear_dirty()
+            self.components.clear_dirty()
         self._last_delta = delta
+        self._emit_delta_metrics(delta)
         return self.snapshot()
 
     def _apply_retract(self, record_id: str) -> ResolutionResult:
         self._batch_index += 1
         delta = StreamingDelta(batch_index=self._batch_index, retracted_records=1)
         self._last_fresh_votes = {}
+        logger.debug("event %d: retracting record %s", self._batch_index, record_id)
 
-        # Provenance bounds the blast radius: exactly the record's pairs.
-        impact = self.provenance.retract_record(record_id)
-        self.join.retract(record_id)
-        self.store.remove(record_id)
-        for key in impact.dropped_pairs:
-            self.candidates.discard(*key)
-            self._ledger.drop_pair(key)
-        delta.invalidated_pairs = len(impact.dropped_pairs)
+        with obs.span("streaming.retract", index=self._batch_index):
+            # Provenance bounds the blast radius: exactly the record's pairs.
+            impact = self.provenance.retract_record(record_id)
+            self.join.retract(record_id)
+            self.store.remove(record_id)
+            for key in impact.dropped_pairs:
+                self.candidates.discard(*key)
+                self._ledger.drop_pair(key)
+            delta.invalidated_pairs = len(impact.dropped_pairs)
 
-        # Re-form the dissolved component from the surviving edges; the
-        # survivors come back dirty, everything else stays clean.
-        survivors = self.components.detach([record_id])
-        for survivor in survivors:
-            for key in self.provenance.pairs_of(survivor):
-                self.components.union(key[0], key[1])
+            # Re-form the dissolved component from the surviving edges; the
+            # survivors come back dirty, everything else stays clean.
+            survivors = self.components.detach([record_id])
+            for survivor in survivors:
+                for key in self.provenance.pairs_of(survivor):
+                    self.components.union(key[0], key[1])
 
-        dirty_roots = self.components.dirty_roots()
-        dirty_pairs: Set[PairKey] = set()
-        for root in dirty_roots:
-            for member in self.components.members(root):
-                dirty_pairs.update(self.provenance.pairs_of(member))
-        delta.dirty_components = len(dirty_roots)
-        delta.clean_components = self.components.component_count - len(dirty_roots)
-        delta.dirty_pairs = len(dirty_pairs)
+            dirty_roots = self.components.dirty_roots()
+            dirty_pairs: Set[PairKey] = set()
+            for root in dirty_roots:
+                for member in self.components.members(root):
+                    dirty_pairs.update(self.provenance.pairs_of(member))
+            delta.dirty_components = len(dirty_roots)
+            delta.clean_components = self.components.component_count - len(dirty_roots)
+            delta.dirty_pairs = len(dirty_pairs)
 
-        # No crowdsourcing: retraction only removes evidence.  Re-aggregate
-        # the dirty region unconditionally — its cached posteriors are
-        # invalid, not merely stale, so the epsilon filter must not apply.
-        self._aggregate(dirty_pairs, delta, force=True)
+            # No crowdsourcing: retraction only removes evidence.  Re-aggregate
+            # the dirty region unconditionally — its cached posteriors are
+            # invalid, not merely stale, so the epsilon filter must not apply.
+            self._aggregate(dirty_pairs, delta, force=True)
 
-        self.components.clear_dirty()
+            self.components.clear_dirty()
         self._last_delta = delta
+        self._emit_delta_metrics(delta)
         return self.snapshot()
 
     def _apply_update(self, record: Record) -> ResolutionResult:
+        # Both halves emit their own spans and delta counters (so an update
+        # accounts as one retraction plus one arrival); only the event count
+        # is recorded here.
+        if obs.enabled():
+            obs.inc("streaming_updates_total", 1,
+                    help="Record update events (retract + re-ingest).")
         self._apply_retract(record.record_id)
         invalidated = self._last_delta.invalidated_pairs
         self._apply_batch([record], None)
@@ -536,23 +575,42 @@ class StreamingResolver:
 
     def _apply_flush(self) -> ResolutionResult:
         self._last_fresh_votes = {}
-        pending = [
-            key
-            for key, gained in self._pending_votes.items()
-            if gained > 0 and key in self._votes
-        ]
-        if pending:
-            roots = {self.components.find(key[0]) for key in pending}
-            keys: Set[PairKey] = set()
-            for root in roots:
-                for member in self.components.members(root):
-                    keys.update(self.provenance.pairs_of(member))
-            voted = [key for key in sorted(keys) if key in self._votes]
-            aggregator = build_aggregator(self.config)
-            for key, posterior in aggregator.aggregate(self._ledger_votes(voted)).items():
-                self._ledger.set_posterior(key, posterior)
-            self._ledger.clear_pending(voted)
+        with obs.span("streaming.flush"):
+            pending = [
+                key
+                for key, gained in self._pending_votes.items()
+                if gained > 0 and key in self._votes
+            ]
+            if pending:
+                roots = {self.components.find(key[0]) for key in pending}
+                keys: Set[PairKey] = set()
+                for root in roots:
+                    for member in self.components.members(root):
+                        keys.update(self.provenance.pairs_of(member))
+                voted = [key for key in sorted(keys) if key in self._votes]
+                aggregator = build_aggregator(self.config)
+                for key, posterior in aggregator.aggregate(
+                    self._ledger_votes(voted)
+                ).items():
+                    self._ledger.set_posterior(key, posterior)
+                self._ledger.clear_pending(voted)
         return self.snapshot()
+
+    def _emit_delta_metrics(self, delta: StreamingDelta) -> None:
+        """Fold one event's delta counters into the metrics registry.
+
+        Only the accumulable fields (``DELTA_COUNTER_FIELDS``) become
+        counters; update events rely on their two halves emitting here, so
+        this must be called exactly once per applied retract/batch half.
+        """
+        if not obs.enabled():
+            return
+        values = delta.as_dict()
+        for name in DELTA_COUNTER_FIELDS:
+            value = values.get(name, 0)
+            if value:
+                obs.inc(f"streaming_{name}_total", value,
+                        help=f"Sum of StreamingDelta.{name} across events.")
 
     # ----------------------------------------------------------- durability
     def _config_payload(self) -> Dict[str, object]:
@@ -595,6 +653,13 @@ class StreamingResolver:
         if not self.storage.persistent:
             return
         self._mirror_session_meta()
+        if obs.enabled():
+            # Mirror the live metrics snapshot so `repro stats --store` can
+            # build a cost report from the store alone.  Purely additive
+            # meta — restore and the state digest never read it.
+            snapshot = obs.snapshot()
+            if snapshot is not None:
+                self.storage.set_meta("metrics", snapshot.to_dict())
         self.storage.commit()
 
     def _journal_intent(self, event_type: str, payload: Dict[str, object]) -> None:
@@ -784,13 +849,17 @@ class StreamingResolver:
 
         resolver._replaying = True
         try:
-            for event in events:
-                if event.seq <= applied:
-                    continue
-                resolver._apply_journal_event(event, verify=verify)
-                resolver._events_applied = event.seq
+            with obs.span("streaming.restore", events=len(events), applied=applied):
+                for event in events:
+                    if event.seq <= applied:
+                        continue
+                    resolver._apply_journal_event(event, verify=verify)
+                    resolver._events_applied = event.seq
         finally:
             resolver._replaying = False
+        logger.info(
+            "restored session from %s at event %d", directory, resolver._events_applied
+        )
         if resolver._last_fresh_votes is None:
             resolver._last_fresh_votes = {}
 
@@ -896,27 +965,28 @@ class StreamingResolver:
         equivalent to the original).
         """
         storage = self.storage
-        truth = storage.get_meta("truth") or []
-        self._truth = {(pair[0], pair[1]) for pair in truth}
-        self.join = IncrementalSimJoin.from_store(
-            storage,
-            threshold=self.config.likelihood_threshold,
-            attributes=self.config.similarity_attributes,
-            backend=self.config.join_backend,
-            cross_sources=self.cross_sources,
-            workers=self.config.join_workers or None,
-        )
-        self.provenance = ProvenanceLedger.from_store(storage)
-        self.candidates = PairSet(
-            RecordPair(key[0], key[1], likelihood=likelihood)
-            for key, likelihood in storage.ledger.pairs.items()
-        )
-        self.components = IncrementalUnionFind()
-        for record_id in storage.record_ids():
-            self.components.add(record_id)
-        for key in sorted(storage.ledger.pairs):
-            self.components.union(key[0], key[1])
-        self.components.clear_dirty()
+        with obs.span("storage.page_in"):
+            truth = storage.get_meta("truth") or []
+            self._truth = {(pair[0], pair[1]) for pair in truth}
+            self.join = IncrementalSimJoin.from_store(
+                storage,
+                threshold=self.config.likelihood_threshold,
+                attributes=self.config.similarity_attributes,
+                backend=self.config.join_backend,
+                cross_sources=self.cross_sources,
+                workers=self.config.join_workers or None,
+            )
+            self.provenance = ProvenanceLedger.from_store(storage)
+            self.candidates = PairSet(
+                RecordPair(key[0], key[1], likelihood=likelihood)
+                for key, likelihood in storage.ledger.pairs.items()
+            )
+            self.components = IncrementalUnionFind()
+            for record_id in storage.record_ids():
+                self.components.add(record_id)
+            for key in sorted(storage.ledger.pairs):
+                self.components.union(key[0], key[1])
+            self.components.clear_dirty()
         session_meta = storage.get_meta("session") or {}
         self._hit_count = int(session_meta.get("hit_count", 0))
         self._cost = session_meta.get("cost", 0.0)
@@ -927,6 +997,10 @@ class StreamingResolver:
         self._last_delta = StreamingDelta(**session_meta.get("last_delta", {}))
         self._events_applied = int(storage.get_meta("events_applied", 0))
         self._last_fresh_votes = None
+        if obs.enabled():
+            # Resume cumulative counters from the mirrored snapshot so a
+            # restart doesn't reset `repro stats` to zero.
+            obs.merge_snapshot(storage.get_meta("metrics"))
 
     def _apply_journal_event(self, event: "persistence.JournalEvent", verify: bool) -> None:
         """Replay one journal event against the current state."""
@@ -1014,6 +1088,11 @@ class StreamingResolver:
             "generator_name": self._generator_name,
             "batch_index": self._batch_index,
             "last_delta": self._last_delta.as_dict(),
+            # Purely observational; absent/None in snapshots written while
+            # metrics were off, and ignored by the state digest.
+            "metrics": (
+                obs.snapshot().to_dict() if obs.enabled() else None
+            ),
         }
 
     def load_state_dict(self, state: Dict[str, object]) -> None:
@@ -1063,6 +1142,8 @@ class StreamingResolver:
         self._batch_index = state["batch_index"]  # type: ignore[assignment]
         self._last_delta = StreamingDelta(**state["last_delta"])  # type: ignore[arg-type]
         self._last_fresh_votes = {}
+        if obs.enabled():
+            obs.merge_snapshot(state.get("metrics"))  # type: ignore[arg-type]
         if self.storage.persistent:
             self._mirror_config_meta()
             self._mirror_session_meta()

@@ -1,0 +1,430 @@
+"""Tests for the ``repro.obs`` observability subsystem.
+
+Three layers of guarantees:
+
+* the primitives themselves — histogram bucketing, Prometheus text-format
+  escaping and validity, span nesting and exception safety, snapshot
+  merging for restart continuity;
+* the no-op default — with observability off, every entry point is inert
+  and instrumentation changes *nothing* about resolution output (the
+  bit-identity property test, for both storage backends);
+* the CLI surface — ``repro stats`` cost reports whose HIT count exactly
+  matches the session's, and the ``-v``/``-q`` logging levels.
+"""
+
+import json
+import logging
+import sqlite3
+
+import pytest
+
+from repro import obs
+from repro.cli import main as cli_main
+from repro.core.config import WorkflowConfig
+from repro.datasets.restaurant import RestaurantGenerator
+from repro.obs.export import to_prometheus, validate_prometheus_text
+from repro.obs.metrics import DEFAULT_BUCKETS, MetricsRegistry, MetricsSnapshot
+from repro.obs.report import CostReport
+from repro.streaming.session import StreamingResolver
+
+
+@pytest.fixture(autouse=True)
+def _obs_off():
+    """Every test starts and ends with observability disabled."""
+    obs.deactivate()
+    yield
+    obs.deactivate()
+
+
+def make_dataset(record_count=60, duplicate_pairs=10, seed=11):
+    return RestaurantGenerator(
+        record_count=record_count, duplicate_pairs=duplicate_pairs, seed=seed
+    ).generate()
+
+
+# ------------------------------------------------------------- primitives
+class TestHistogram:
+    def test_bucketing_lands_each_value_in_its_bucket(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("h", buckets=(0.1, 1.0, 10.0))
+        for value in (0.05, 0.5, 0.5, 5.0, 50.0):
+            histogram.observe(value)
+        snapshot = registry.snapshot()
+        sample = snapshot.get("h")["samples"][0]
+        # counts are per-bucket (not cumulative): (<=0.1, <=1, <=10, +Inf)
+        assert sample["counts"] == [1, 2, 1, 1]
+        assert sample["count"] == 5
+        assert sample["sum"] == pytest.approx(56.05)
+
+    def test_boundary_value_goes_to_lower_bucket(self):
+        registry = MetricsRegistry()
+        registry.histogram("h", buckets=(1.0, 2.0)).observe(1.0)
+        sample = registry.snapshot().get("h")["samples"][0]
+        assert sample["counts"] == [1, 0, 0]  # le="1.0" is inclusive
+
+    def test_default_buckets_are_sorted_and_positive(self):
+        assert list(DEFAULT_BUCKETS) == sorted(DEFAULT_BUCKETS)
+        assert all(bound > 0 for bound in DEFAULT_BUCKETS)
+
+    def test_labelled_series_are_independent(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("h", buckets=(1.0,))
+        histogram.observe(0.5, kind="a")
+        histogram.observe(2.0, kind="b")
+        snapshot = registry.snapshot()
+        assert snapshot.histogram_count("h", kind="a") == 1
+        assert snapshot.histogram_sum("h", kind="b") == pytest.approx(2.0)
+
+
+class TestPrometheusExport:
+    def test_export_of_live_registry_validates(self):
+        registry = MetricsRegistry()
+        registry.counter("c_total", "a counter").inc(3, phase="join")
+        registry.gauge("g").set(1.5)
+        registry.histogram("h_seconds", "a histogram").observe(0.02)
+        text = to_prometheus(registry.snapshot())
+        assert validate_prometheus_text(text) == []
+        assert 'c_total{phase="join"} 3' in text
+        assert "# TYPE h_seconds histogram" in text
+        assert 'h_seconds_bucket{le="+Inf"} 1' in text
+
+    def test_label_value_escaping(self):
+        registry = MetricsRegistry()
+        registry.counter("c_total").inc(1, path='a"b\\c\nd')
+        text = to_prometheus(registry.snapshot())
+        assert validate_prometheus_text(text) == []
+        assert '\\"' in text and "\\\\" in text and "\\n" in text
+
+    def test_histogram_buckets_are_cumulative(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("h", buckets=(1.0, 2.0))
+        histogram.observe(0.5)
+        histogram.observe(1.5)
+        text = to_prometheus(registry.snapshot())
+        assert 'h_bucket{le="1"} 1' in text
+        assert 'h_bucket{le="2"} 2' in text
+        assert 'h_bucket{le="+Inf"} 2' in text
+        assert "h_count 2" in text
+
+    def test_validator_flags_malformed_text(self):
+        assert validate_prometheus_text("# TYPE x banana\n")
+        assert validate_prometheus_text("m{oops} 1\n")
+        assert validate_prometheus_text('m{l="unterminated} 1\n')
+        assert validate_prometheus_text("m not-a-number\n")
+
+    def test_validator_accepts_empty_export(self):
+        assert validate_prometheus_text(to_prometheus(MetricsSnapshot([]))) == []
+
+
+class TestSpans:
+    def test_nesting_recorded_in_trace(self, tmp_path):
+        trace = tmp_path / "trace.jsonl"
+        obs.activate(trace_path=str(trace))
+        with obs.span("outer"):
+            with obs.span("inner"):
+                pass
+        obs.deactivate()
+        events = [json.loads(line) for line in trace.read_text().splitlines()]
+        spans = {event["name"]: event for event in events if event["type"] == "span"}
+        assert spans["inner"]["depth"] == 1
+        assert spans["inner"]["parent_id"] == spans["outer"]["span_id"]
+        assert "parent_id" not in spans["outer"]
+        # a clean deactivate appends the final snapshot event
+        assert events[-1]["type"] == "snapshot"
+
+    def test_exception_propagates_and_is_counted(self):
+        obs.activate()
+        with pytest.raises(ValueError):
+            with obs.span("boom"):
+                raise ValueError("kept")
+        snapshot = obs.snapshot()
+        assert snapshot.counter_total("span_errors_total", span="boom") == 1
+        assert snapshot.histogram_count("span_seconds", span="boom") == 1
+        # the stack unwound: a new span is a root again
+        with obs.span("after") as after:
+            assert after.parent_id is None
+
+    def test_span_durations_feed_span_seconds(self):
+        obs.activate()
+        with obs.span("timed"):
+            pass
+        snapshot = obs.snapshot()
+        assert snapshot.histogram_count("span_seconds", span="timed") == 1
+        assert snapshot.histogram_sum("span_seconds", span="timed") >= 0.0
+
+
+class TestNoopDefault:
+    def test_disabled_entry_points_are_inert(self):
+        assert not obs.enabled()
+        assert obs.snapshot() is None
+        assert obs.runtime() is None
+        obs.inc("c_total")
+        obs.observe("h", 1.0)
+        obs.set_gauge("g", 1.0)
+        assert obs.merge_snapshot({"metrics": []}) is False
+        with obs.span("nothing") as nothing:
+            pass
+        assert nothing is obs.span("still-nothing")  # shared no-op singleton
+
+    def test_activate_is_idempotent(self):
+        first = obs.activate()
+        assert obs.activate() is first
+        obs.inc("c_total", 2)
+        assert obs.snapshot().counter_total("c_total") == 2
+
+
+class TestMergeSnapshot:
+    def test_counters_accumulate_gauges_overwrite(self):
+        registry = MetricsRegistry()
+        registry.counter("c_total").inc(5, kind="a")
+        registry.gauge("g").set(1.0)
+        stored = registry.snapshot().to_dict()
+
+        obs.activate()
+        obs.inc("c_total", 2, kind="a")
+        obs.inc("c_total", 7, kind="b")
+        assert obs.merge_snapshot(stored) is True
+        snapshot = obs.snapshot()
+        assert snapshot.counter_total("c_total", kind="a") == 7
+        assert snapshot.counter_total("c_total", kind="b") == 7
+        assert snapshot.gauge_value("g") == 1.0
+
+    def test_histograms_add_elementwise(self):
+        registry = MetricsRegistry()
+        registry.histogram("h", buckets=(1.0, 2.0)).observe(0.5)
+        stored = registry.snapshot().to_dict()
+        runtime = obs.activate()
+        runtime.registry.histogram("h", buckets=(1.0, 2.0)).observe(1.5)
+        obs.merge_snapshot(stored)
+        sample = obs.snapshot().get("h")["samples"][0]
+        assert sample["counts"] == [1, 1, 0]
+        assert sample["count"] == 2
+
+    def test_kind_conflict_is_skipped_not_fatal(self):
+        registry = MetricsRegistry()
+        registry.counter("x").inc(1)
+        stored = registry.snapshot().to_dict()
+        runtime = obs.activate()
+        runtime.registry.gauge("x").set(9.0)
+        obs.merge_snapshot(stored)  # must not raise
+        assert obs.snapshot().gauge_value("x") == 9.0
+
+
+# ------------------------------------------------- bit-identity property
+def _run_stream(dataset, tmp_path, backend, instrumented, tag):
+    config_kwargs = dict(
+        likelihood_threshold=0.35,
+        vote_mode="per-pair",
+        stream_batch_size=20,
+        seed=7,
+    )
+    if backend == "sqlite":
+        config_kwargs.update(
+            storage_backend="sqlite",
+            storage_path=str(tmp_path / f"{tag}.sqlite"),
+        )
+    if instrumented:
+        config_kwargs.update(
+            metrics_enabled=True,
+            trace_path=str(tmp_path / f"{tag}.jsonl"),
+        )
+    config = WorkflowConfig(**config_kwargs)
+    resolver = StreamingResolver(config=config, cross_sources=dataset.cross_sources)
+    resolver.add_truth(dataset.ground_truth)
+    records = list(dataset.store)
+    result = None
+    for start in range(0, len(records), 20):
+        result = resolver.add_batch(records[start : start + 20])
+    state = resolver.state_dict()
+    state.pop("metrics", None)  # observational, allowed to differ
+    # The config necessarily differs in the observability knobs themselves
+    # (and the store path); everything resolution-relevant must not.
+    state["config"] = {
+        key: value
+        for key, value in state["config"].items()
+        if key not in _OBS_CONFIG_KEYS
+    }
+    resolver.storage.close()
+    obs.deactivate()
+    return result, state
+
+
+#: Config fields allowed to differ between the instrumented and plain runs.
+_OBS_CONFIG_KEYS = ("metrics_enabled", "trace_path", "storage_path")
+
+
+def _assert_deep_equal(left, right, path=""):
+    """Recursive equality that treats numpy arrays elementwise."""
+    import numpy as np
+
+    if isinstance(left, dict) and isinstance(right, dict):
+        assert set(left) == set(right), f"{path}: key sets differ"
+        for key in left:
+            _assert_deep_equal(left[key], right[key], f"{path}.{key}")
+    elif isinstance(left, (list, tuple)) and isinstance(right, (list, tuple)):
+        assert len(left) == len(right), f"{path}: lengths differ"
+        for index, (a, b) in enumerate(zip(left, right)):
+            _assert_deep_equal(a, b, f"{path}[{index}]")
+    elif isinstance(left, np.ndarray) or isinstance(right, np.ndarray):
+        assert np.array_equal(left, right), f"{path}: arrays differ"
+    else:
+        assert left == right, f"{path}: {left!r} != {right!r}"
+
+
+def _dump_sqlite(path):
+    """Every row of every table, minus the observational metrics/config meta."""
+    connection = sqlite3.connect(path)
+    try:
+        tables = [
+            row[0]
+            for row in connection.execute(
+                "SELECT name FROM sqlite_master WHERE type='table' ORDER BY name"
+            )
+        ]
+        dump = {}
+        for table in tables:
+            rows = connection.execute(f"SELECT * FROM {table}").fetchall()
+            if table == "meta":
+                normalized = []
+                for key, value in rows:
+                    if key == "metrics":
+                        continue
+                    if key == "config":
+                        payload = json.loads(value)
+                        for field in _OBS_CONFIG_KEYS:
+                            payload.pop(field, None)
+                        value = json.dumps(payload, sort_keys=True)
+                    normalized.append((key, value))
+                rows = normalized
+            dump[table] = sorted(map(repr, rows))
+        return dump
+    finally:
+        connection.close()
+
+
+@pytest.mark.parametrize("backend", ("memory", "sqlite"))
+def test_instrumentation_leaves_resolution_bit_identical(tmp_path, backend):
+    dataset = make_dataset()
+    plain_result, plain_state = _run_stream(dataset, tmp_path, backend, False, "plain")
+    inst_result, inst_state = _run_stream(dataset, tmp_path, backend, True, "inst")
+
+    assert set(inst_result.matches) == set(plain_result.matches)
+    assert inst_result.posteriors == plain_result.posteriors
+    assert inst_result.ranked_pairs == plain_result.ranked_pairs
+    assert inst_result.hit_count == plain_result.hit_count
+    assert inst_result.cost == plain_result.cost
+    _assert_deep_equal(inst_state, plain_state)
+    if backend == "sqlite":
+        assert _dump_sqlite(tmp_path / "inst.sqlite") == _dump_sqlite(
+            tmp_path / "plain.sqlite"
+        )
+
+
+# ------------------------------------------------------------ cost report
+def test_stats_hit_count_matches_session_exactly(tmp_path):
+    dataset = make_dataset()
+    config = WorkflowConfig(
+        likelihood_threshold=0.35,
+        vote_mode="per-pair",
+        stream_batch_size=20,
+        storage_backend="sqlite",
+        storage_path=str(tmp_path / "store.sqlite"),
+        metrics_enabled=True,
+        trace_path=str(tmp_path / "trace.jsonl"),
+        seed=7,
+    )
+    resolver = StreamingResolver(config=config, cross_sources=dataset.cross_sources)
+    resolver.add_truth(dataset.ground_truth)
+    records = list(dataset.store)
+    result = None
+    for start in range(0, len(records), 20):
+        result = resolver.add_batch(records[start : start + 20])
+    snapshot = obs.snapshot()
+    resolver.storage.close()
+    obs.deactivate()
+    assert result.hit_count > 0
+
+    live = CostReport.from_snapshot(snapshot)
+    store = CostReport.from_store(str(tmp_path / "store.sqlite"))
+    trace = CostReport.from_trace(str(tmp_path / "trace.jsonl"))
+    for report in (live, store, trace):
+        assert report.hits_issued == result.hit_count
+        assert report.assignments == result.assignment_count
+        assert report.votes > 0
+        assert report.crowd_cost_dollars == pytest.approx(result.cost)
+    assert store.machine_seconds is not None and store.machine_seconds > 0
+
+
+# -------------------------------------------------------------------- CLI
+def test_cli_stream_metrics_export_and_stats(tmp_path, capsys):
+    checkpoint = tmp_path / "session"
+    prom = tmp_path / "metrics.prom"
+    trace = tmp_path / "trace.jsonl"
+    exit_code = cli_main([
+        "resolve-stream", "--dataset", "paper-example", "--batch-size", "3",
+        "--storage-backend", "sqlite", "--checkpoint-dir", str(checkpoint),
+        "--metrics", "--trace", str(trace), "--metrics-out", str(prom),
+    ])
+    out = capsys.readouterr().out
+    assert exit_code == 0
+    hit_line = next(line for line in out.splitlines() if line.startswith("HITs"))
+    session_hits = int(hit_line.split(":")[1].split("/")[0])
+    assert validate_prometheus_text(prom.read_text()) == []
+
+    for source_args in (
+        ["--checkpoint-dir", str(checkpoint)],
+        ["--trace", str(trace)],
+    ):
+        assert cli_main(["stats"] + source_args) == 0
+        rendered = capsys.readouterr().out
+        assert f"HITs issued            : {session_hits}" in rendered
+
+    assert cli_main(["stats", "--checkpoint-dir", str(checkpoint), "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["hits_issued"] == session_hits
+    assert payload["votes"] > 0
+
+
+def test_cli_stats_errors(tmp_path, capsys):
+    assert cli_main(["stats"]) == 2
+    assert "needs --store" in capsys.readouterr().err
+    assert cli_main(["stats", "--store", str(tmp_path / "missing.sqlite")]) == 2
+    assert capsys.readouterr().err.startswith("error:")
+
+
+def test_cli_quiet_suppresses_info(capsys):
+    assert cli_main(["-q", "threshold-table", "--dataset", "paper-example"]) == 0
+    captured = capsys.readouterr()
+    assert captured.out == ""
+    assert captured.err == ""
+
+
+def test_cli_verbose_surfaces_library_debug(capsys):
+    assert cli_main([
+        "-v", "resolve-stream", "--dataset", "paper-example", "--batch-size", "3",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "records arriving" in out  # session.py debug line
+
+
+def test_cli_errors_go_to_stderr_not_stdout(capsys):
+    exit_code = cli_main([
+        "resolve-stream", "--dataset", "paper-example", "--batch-size", "3",
+        "--retract", "no-such-record",
+    ])
+    captured = capsys.readouterr()
+    assert exit_code == 2
+    assert "error:" in captured.err
+    assert "error:" not in captured.out
+
+
+def test_library_loggers_never_touch_root(capsys):
+    # _configure_logging must scope handlers to the "repro" logger only.
+    cli_main(["threshold-table", "--dataset", "paper-example"])
+    capsys.readouterr()
+    assert logging.getLogger().handlers == logging.getLogger().handlers  # no raise
+    assert not logging.getLogger("repro").propagate
+    assert logging.getLogger().handlers == [] or all(
+        handler not in logging.getLogger("repro").handlers
+        for handler in logging.getLogger().handlers
+    )
