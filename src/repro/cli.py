@@ -72,6 +72,7 @@ from repro.datasets.paper_example import paper_example_matches, paper_example_st
 from repro.datasets.product import load_product
 from repro.datasets.product_dup import load_product_dup
 from repro.datasets.restaurant import load_restaurant
+from repro.etl.registry import available_corpora, load_corpus
 from repro.evaluation.metrics import f1_score, precision_recall
 from repro.evaluation.reporting import format_table
 from repro.evaluation.threshold_table import threshold_table
@@ -82,7 +83,10 @@ from repro.simjoin.likelihood import SimJoinLikelihood
 from repro.storage import STORE_FILENAME
 from repro.streaming import StreamingResolver
 
-_DATASETS = ("restaurant", "product", "product-dup", "paper-example")
+#: Synthetic generators plus every corpus registered with the ETL layer
+#: (``abt-buy``, ``amazon-google``, ...) — registry corpora load their
+#: bundled offline mini variant.
+_DATASETS = ("restaurant", "product", "product-dup", "paper-example") + available_corpora()
 
 #: CLI reporting goes through this logger (configured in :func:`main`),
 #: never through bare prints or the root logger.  Library modules have
@@ -167,6 +171,10 @@ def load_dataset(name: str, scale: float, seed: int) -> Dataset:
             store=paper_example_store(),
             ground_truth=paper_example_matches(),
         )
+    if name in available_corpora():
+        # ETL-loaded real-style corpora are fixed files; scale and seed do
+        # not apply (the bundled mini variant loads offline).
+        return load_corpus(name)
     raise ValueError(f"unknown dataset {name!r}; choose from {_DATASETS}")
 
 

@@ -1,0 +1,145 @@
+"""Field-level parsing for the ETL layer: ids, text, prices.
+
+Real benchmark corpora arrive with trademark glyphs, accented characters,
+inch marks, currency symbols in three positions and thousands separators in
+two conventions.  Everything here is pure, deterministic and
+dependency-free, so a corpus loads byte-identically on every machine —
+which is what makes the md5-derived record ids and the downstream
+regression baselines stable.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import re
+import unicodedata
+from typing import Optional, Tuple
+
+from repro.records.preprocessing import normalize_text
+
+#: Currency symbols and codes recognised by :func:`parse_price_currency`.
+#: Symbols may prefix or suffix the amount; codes may appear on either side
+#: in any case ("GBP 279", "279 gbp").
+_CURRENCY_SYMBOLS = {
+    "$": "USD",
+    "£": "GBP",
+    "€": "EUR",
+    "¥": "JPY",
+}
+_CURRENCY_CODES = ("USD", "GBP", "EUR", "JPY", "CAD", "AUD", "CHF")
+
+_NUMBER_PATTERN = re.compile(r"\d[\d.,]*")
+
+
+def md5_id(*parts: object) -> str:
+    """Stable md5-derived identifier from the given parts.
+
+    ``md5_id("abt_buy", "abt", 552)`` hashes ``"abt_buy|abt|552"`` and
+    returns the first 12 hex digits — stable across loads, row orders,
+    processes and machines, and collision-safe at benchmark-corpus sizes
+    (12 hex digits = 48 bits for a few thousand records).
+
+    >>> md5_id("abt_buy", "abt", 552)
+    'c19e04939615'
+    """
+    digest = hashlib.md5("|".join(str(part) for part in parts).encode("utf-8"))
+    return digest.hexdigest()[:12]
+
+
+def strip_accents(text: str) -> str:
+    """Replace accented characters by their base form (``"café"`` → ``"cafe"``).
+
+    NFKD-decomposes the text and drops combining marks; compatibility
+    characters (``"™"``, ``"①"``, full-width forms) decompose to their
+    plain equivalents along the way.
+    """
+    decomposed = unicodedata.normalize("NFKD", text)
+    return "".join(ch for ch in decomposed if not unicodedata.combining(ch))
+
+
+def etl_normalize(text: Optional[str]) -> str:
+    """Normalise a raw corpus text value for similarity computation.
+
+    Unicode fold (:func:`strip_accents`) first, then the paper's
+    Section-7.1 preprocessing (:func:`repro.records.preprocessing.normalize_text`):
+    non-alphanumeric characters become single spaces, letters are
+    lower-cased, surrounding whitespace is stripped.
+
+    >>> etl_normalize("Sony® BRAVIA – 32\\u2033 LCD, Café-Edition!")
+    'sony bravia 32 lcd cafe edition'
+    """
+    if not text:
+        return ""
+    return normalize_text(strip_accents(text))
+
+
+def _parse_amount(token: str) -> Optional[float]:
+    """Parse one numeric token handling both separator conventions.
+
+    ``"1,299.00"`` (US) and ``"1.299,00"`` (EU) are both thousands+decimal;
+    a lone comma group like ``"12,50"`` is an EU decimal while ``"1,299"``
+    is a US thousands group.
+    """
+    if "." in token and "," in token:
+        # The *last* separator is the decimal mark; the other one groups
+        # thousands.
+        if token.rfind(".") > token.rfind(","):
+            cleaned = token.replace(",", "")
+        else:
+            cleaned = token.replace(".", "").replace(",", ".")
+    elif "," in token:
+        head, _, tail = token.rpartition(",")
+        if len(tail) == 3 and head.replace(",", "").isdigit():
+            cleaned = token.replace(",", "")  # 1,299 → thousands
+        else:
+            cleaned = token.replace(",", ".")  # 12,50 → decimal
+    else:
+        cleaned = token
+    try:
+        return float(cleaned)
+    except ValueError:
+        return None
+
+
+def parse_price_currency(value: object) -> Tuple[Optional[float], Optional[str]]:
+    """Parse a raw price field into ``(amount, currency_code)``.
+
+    Handles symbol prefixes/suffixes (``"$149.00"``, ``"279 €"``), ISO
+    codes on either side (``"GBP 279"``, ``"1299.00 usd"``), US and EU
+    separator conventions, and surrounding junk.  Anything without a
+    parseable number — empty fields, ``"call for price"`` — returns
+    ``(None, None)`` rather than raising, so one malformed row never sinks
+    a corpus load (the loader counts these in the lineage).
+
+    >>> parse_price_currency("$1,299.00")
+    (1299.0, 'USD')
+    >>> parse_price_currency("12,50 €")
+    (12.5, 'EUR')
+    >>> parse_price_currency("call for price")
+    (None, None)
+    """
+    if value is None:
+        return None, None
+    text = str(value).strip()
+    if not text:
+        return None, None
+
+    currency = None
+    for symbol, code in _CURRENCY_SYMBOLS.items():
+        if symbol in text:
+            currency = code
+            break
+    if currency is None:
+        upper = text.upper()
+        for code in _CURRENCY_CODES:
+            if re.search(rf"(?<![A-Z]){code}(?![A-Z])", upper):
+                currency = code
+                break
+
+    match = _NUMBER_PATTERN.search(text)
+    if match is None:
+        return None, None
+    amount = _parse_amount(match.group(0).rstrip(".,"))
+    if amount is None:
+        return None, None
+    return amount, currency

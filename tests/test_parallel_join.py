@@ -16,6 +16,9 @@ import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
+from strategies import WORDS as _WORDS
+from strategies import random_stores, similarity_measures
+
 from repro.core.config import WorkflowConfig
 from repro.core.workflow import HybridWorkflow
 from repro.datasets.restaurant import RestaurantGenerator
@@ -46,33 +49,12 @@ def pair_items(pairs):
     return sorted((pair.key, pair.likelihood) for pair in pairs)
 
 
-# ------------------------------------------------------------- strategies
-_WORDS = ["ipad", "apple", "16gb", "wifi", "white", "2nd", "gen", "mini", "pro", "max"]
-
-record_texts = st.lists(st.sampled_from(_WORDS), max_size=6).map(" ".join)
-
-
-@st.composite
-def random_stores(draw, with_sources=False):
-    """Randomized stores with duplicates and empty-token records."""
-    texts = draw(st.lists(record_texts, min_size=2, max_size=14))
-    duplicate_of = draw(
-        st.lists(st.integers(min_value=0, max_value=len(texts) - 1), max_size=3)
-    )
-    texts.extend(texts[i] for i in duplicate_of)
-    store = RecordStore()
-    for i, text in enumerate(texts):
-        source = ("abt", "buy")[draw(st.integers(0, 1))] if with_sources else None
-        store.add(Record(f"r{i:03d}", {"name": text}, source=source))
-    return store
-
-
 class TestParallelEqualsVectorized:
     @settings(max_examples=10, deadline=None, suppress_health_check=[HealthCheck.too_slow])
     @given(
         store=random_stores(),
         threshold=st.sampled_from((0.0, 0.3, 0.7)),
-        measure=st.sampled_from(("jaccard", "dice", "cosine")),
+        measure=similarity_measures,
         workers=st.sampled_from((1, 2, 3, 8)),
     )
     def test_property_bit_identical_self_join(self, store, threshold, measure, workers):

@@ -1,9 +1,9 @@
 """Property-based tests (hypothesis) for the core invariants."""
 
-import string
-
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
+
+from strategies import pair_sets, short_text, token_sets, vertex_ids
 
 from repro.aggregation.dawid_skene import DawidSkeneAggregator
 from repro.aggregation.majority import majority_vote
@@ -16,32 +16,10 @@ from repro.hit.packing import (
     size_lower_bound,
 )
 from repro.hit.pair_generation import PairHITGenerator
-from repro.records.pairs import PairSet, RecordPair, canonical_pair
+from repro.records.pairs import canonical_pair
 from repro.records.preprocessing import normalize_text
 from repro.similarity.edit_distance import levenshtein_distance, levenshtein_similarity
 from repro.similarity.set_similarity import dice_similarity, jaccard_similarity, overlap_coefficient
-
-# ------------------------------------------------------------- strategies
-token_sets = st.sets(st.sampled_from(["a", "b", "c", "d", "e", "f", "g", "h"]), max_size=8)
-short_text = st.text(alphabet=string.ascii_lowercase + " 0123456789", max_size=24)
-vertex_ids = st.integers(min_value=0, max_value=25).map(lambda i: f"v{i:02d}")
-
-
-@st.composite
-def pair_sets(draw):
-    """Random pair sets over a bounded vertex universe."""
-    edges = draw(
-        st.sets(
-            st.tuples(vertex_ids, vertex_ids).filter(lambda pair: pair[0] != pair[1]),
-            min_size=1,
-            max_size=60,
-        )
-    )
-    pairs = PairSet()
-    for id_a, id_b in edges:
-        pairs.add(RecordPair(id_a, id_b, likelihood=0.5))
-    return pairs
-
 
 # ------------------------------------------------------------ similarity
 class TestSimilarityProperties:

@@ -10,7 +10,8 @@ engines at thresholds 0.1, 0.5 and 0.9.
 
 import pytest
 from hypothesis import HealthCheck, given, settings
-from hypothesis import strategies as st
+
+from strategies import random_stores
 
 from repro.records.pairs import PairSet
 from repro.records.record import Record, RecordStore
@@ -38,32 +39,6 @@ THRESHOLDS = (0.1, 0.5, 0.9)
 # The vectorized backend needs scipy; on scipy-less installs the naive and
 # prefix engines must still agree, so it is dropped rather than skipped.
 BACKENDS = ("naive", "prefix") + (("vectorized",) if HAVE_SCIPY else ())
-
-# ------------------------------------------------------------- strategies
-_WORDS = ["ipad", "apple", "16gb", "wifi", "white", "2nd", "gen", "mini", "pro", "max"]
-
-record_texts = st.lists(st.sampled_from(_WORDS), max_size=6).map(" ".join)
-
-
-@st.composite
-def random_stores(draw, with_sources=False):
-    """A store of records with random (possibly empty) token sets.
-
-    Some records are exact duplicates of earlier ones (same text, distinct
-    id) and some have no tokens at all — the edge cases the joins must
-    agree on.
-    """
-    texts = draw(st.lists(record_texts, min_size=2, max_size=14))
-    duplicate_of = draw(
-        st.lists(st.integers(min_value=0, max_value=len(texts) - 1), max_size=3)
-    )
-    texts.extend(texts[i] for i in duplicate_of)
-    store = RecordStore()
-    for i, text in enumerate(texts):
-        source = ("abt", "buy")[draw(st.integers(0, 1))] if with_sources else None
-        store.add(Record(f"r{i:03d}", {"name": text}, source=source))
-    return store
-
 
 def _assert_backends_agree(store, threshold, cross_sources=None):
     results = {

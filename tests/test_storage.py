@@ -18,6 +18,8 @@ import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
+from strategies import drive, event_schedules
+
 from repro.core.config import WorkflowConfig
 from repro.datasets.restaurant import RestaurantGenerator
 from repro.hit.pair_generation import PairHITGenerator
@@ -79,28 +81,6 @@ def session_fingerprint(session):
         "covered": session.covered_pairs(),
         "record_ids": sorted(session.store.record_ids),
     }
-
-
-def drive(resolver, records, schedule, cursor=0):
-    """Apply a deterministic event schedule; returns the arrival cursor."""
-    for action, argument in schedule:
-        if action == "batch":
-            batch = records[cursor : cursor + argument]
-            cursor += argument
-            if batch:
-                resolver.add_batch(batch)
-        elif action == "retract":
-            resident = sorted(resolver.store.record_ids)
-            if resident:
-                resolver.retract(resident[argument % len(resident)])
-        elif action == "update":
-            resident = sorted(resolver.store.record_ids)
-            if resident:
-                record = resolver.store.get(resident[argument % len(resident)])
-                resolver.update(record.with_attributes(name=f"revision {argument}"))
-        elif action == "flush":
-            resolver.flush()
-    return cursor
 
 
 # ------------------------------------------------------------- store basics
@@ -265,16 +245,7 @@ class TestBackendBitIdentity:
     )
     @given(
         data=st.data(),
-        schedule=st.lists(
-            st.one_of(
-                st.tuples(st.just("batch"), st.integers(min_value=1, max_value=20)),
-                st.tuples(st.just("retract"), st.integers(min_value=0, max_value=10_000)),
-                st.tuples(st.just("update"), st.integers(min_value=0, max_value=10_000)),
-                st.tuples(st.just("flush"), st.just(0)),
-            ),
-            min_size=2,
-            max_size=6,
-        ),
+        schedule=event_schedules(min_size=2, max_size=6),
     )
     def test_property_sqlite_equals_memory_across_crash_schedules(
         self, tmp_path_factory, data, schedule

@@ -13,7 +13,8 @@ import random
 
 import pytest
 from hypothesis import HealthCheck, given, settings
-from hypothesis import strategies as st
+
+from strategies import arrival_batch_sizes, order_seeds
 
 from repro.core.config import WorkflowConfig
 from repro.core.workflow import HybridWorkflow
@@ -409,10 +410,7 @@ class TestBoundedStalenessAggregation:
     deadline=None,
     suppress_health_check=[HealthCheck.too_slow],
 )
-@given(
-    order_seed=st.integers(min_value=0, max_value=10_000),
-    batch_size=st.integers(min_value=3, max_value=40),
-)
+@given(order_seed=order_seeds, batch_size=arrival_batch_sizes)
 def test_property_streaming_equals_batch(order_seed, batch_size):
     """Any arrival order / batch size reproduces the one-shot resolution."""
     dataset = make_dataset(record_count=60, duplicate_pairs=10, seed=13)

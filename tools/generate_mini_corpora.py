@@ -1,0 +1,328 @@
+"""Regenerate the bundled offline mini-corpora under src/repro/etl/data/.
+
+The real Abt-Buy and Amazon-GoogleProducts benchmark corpora are not
+redistributable in this repository, so the bundled data are *deterministic,
+committed stand-ins in the real corpora's raw shape*: messy CSV files the
+ETL layer has to actually work for — unicode trademark glyphs and accents,
+inch marks, punctuation, currency symbols in both positions, EU and US
+decimal separators, empty and malformed price fields, blank descriptions —
+plus a perfect-mapping gold CSV keyed by the raw source ids.
+
+Run from the repository root to refresh the committed files (the manifests
+are rewritten with the new checksums)::
+
+    python tools/generate_mini_corpora.py
+
+The output is a pure function of the seeds below, so re-running on any
+machine reproduces the committed bytes exactly; the checksum manifests (and
+therefore the regression-matrix baselines) only change when this script
+does.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+import random
+import string
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.etl.manifest import MANIFEST_FILENAME, sha256_file  # noqa: E402
+
+DATA_ROOT = REPO_ROOT / "src" / "repro" / "etl" / "data"
+
+_BRANDS = [
+    "Apple", "Sony", "Samsung", "Panasonic", "Canon", "Nikon", "Toshiba",
+    "Dell", "HP", "Lenovo", "Asus", "Acer", "LG", "Philips", "Bose",
+    "Garmin", "JBL", "Logitech", "Netgear", "Seagate", "Kodak", "Olympus",
+    "Vizio", "Sharp", "Pioneer", "Kenwood", "Yamaha", "Denon", "Onkyo",
+    "Casio", "Epson", "Brother", "SanDisk", "Kingston", "TomTom",
+]
+_LINES = [
+    "iPod Touch", "Walkman Player", "Galaxy Player", "Lumix Camera",
+    "PowerShot Camera", "Coolpix Camera", "Portable DVD Player", "Notebook",
+    "LCD Monitor", "Soundbar", "Home Theater System", "GPS Navigator",
+    "Wireless Router", "External Hard Drive", "Bluetooth Speaker",
+    "Noise Cancelling Headphones", "Digital Camcorder", "Photo Printer",
+    "Media Streamer", "Clock Radio", "Micro Stereo", "Receiver Amplifier",
+    "Turntable", "Subwoofer", "Earbuds", "Webcam", "Flash Drive",
+    "Memory Card", "Docking Station", "Projector", "Scanner",
+    "Cordless Phone", "Baby Monitor", "Fitness Tracker", "Action Camera",
+    "Dash Cam", "Karaoke Machine", "DVD Recorder", "Blu-ray Player",
+]
+_COLORS = ["Black", "White", "Silver", "Blue", "Red", "Pink", "Grey", "Titanium"]
+_CAPACITIES = ["2GB", "4GB", "8GB", "16GB", "32GB", "64GB", "120GB", "500GB", "1TB"]
+_GENERATIONS = ["1st", "2nd", "3rd", "4th", "5th"]
+_EXTRAS = ["Wi-Fi", "HD", "Portable", "Pro", "Plus", "Slim", "Touchscreen", "Wireless", "Deluxe", "Premium"]
+_GLYPHS = ["®", "™", ""]
+_DESC_PHRASES = [
+    "with rechargeable battery", "includes remote control and cables",
+    "café-quality audio performance", "easy setup – plug and play",
+    "compact design for travel", "supports all major formats",
+    "award-winning engineering", "2-year limited warranty included",
+    "high-résolution display", "energy efficient operation",
+]
+
+
+def _model_code(rng: random.Random) -> str:
+    return (
+        "".join(rng.choices(string.ascii_uppercase, k=3))
+        + "-"
+        + "".join(rng.choices(string.digits, k=3))
+        + rng.choice(["LL/A", "B", "S", "XE", ""])
+    )
+
+
+def _make_entity(rng: random.Random) -> dict:
+    return {
+        "brand": rng.choice(_BRANDS),
+        "line": rng.choice(_LINES),
+        "color": rng.choice(_COLORS),
+        "capacity": rng.choice(_CAPACITIES),
+        "generation": rng.choice(_GENERATIONS),
+        "extra": rng.choice(_EXTRAS),
+        "model_code": _model_code(rng),
+        "price": round(rng.uniform(15, 1500), 2),
+    }
+
+
+def _verbose_title(entity: dict, rng: random.Random) -> str:
+    glyph = rng.choice(_GLYPHS)
+    pieces = [
+        f"{entity['brand']}{glyph}",
+        entity["capacity"],
+        entity["color"],
+        f"{entity['generation']} Generation",
+        entity["line"],
+        f"({entity['extra']})",
+        entity["model_code"],
+    ]
+    if rng.random() < 0.25:
+        pieces.insert(5, 'w/ 32″ Stand' if rng.random() < 0.5 else "– Accessories Kit")
+    return " ".join(piece for piece in pieces if piece)
+
+
+def _terse_title(entity: dict, rng: random.Random, hard: bool) -> str:
+    divergence = rng.uniform(0.42, 0.95) if hard else rng.uniform(0.0, 0.42)
+    line_tokens = entity["line"].split()
+    line = " ".join(line_tokens[:-1]) if divergence > 0.6 and len(line_tokens) > 1 else entity["line"]
+    if divergence < 0.35:
+        generation = f"{entity['generation']} Generation"
+    elif divergence < 0.7:
+        generation = f"Gen {entity['generation'][0]}"
+    else:
+        generation = ""
+    pieces = [
+        entity["brand"],
+        line,
+        entity["capacity"] if rng.random() > 0.55 * divergence else "",
+        generation,
+        entity["color"] if rng.random() > 0.25 + 0.65 * divergence else "",
+        entity["extra"] if rng.random() > 0.45 + 0.5 * divergence else "",
+        entity["model_code"] if rng.random() < 0.2 else "",
+    ]
+    if divergence > 0.75:
+        pieces.append(rng.choice(["Refurbished", "Bundle", "New", ""]))
+    return " ".join(piece for piece in pieces if piece)
+
+
+def _description(entity: dict, rng: random.Random, blank_rate: float) -> str:
+    if rng.random() < blank_rate:
+        return ""
+    phrases = rng.sample(_DESC_PHRASES, k=rng.randint(1, 3))
+    return f"{entity['brand']} {entity['line']}: " + ", ".join(phrases) + "."
+
+
+def _price_text(amount: float, rng: random.Random, style: str) -> str:
+    roll = rng.random()
+    if roll < 0.04:
+        return ""  # missing price
+    if roll < 0.08:
+        return rng.choice(["call for price", "see site", "n/a"])  # malformed
+    noisy = amount * rng.uniform(0.92, 1.08)
+    if style == "us":
+        return f"${noisy:,.2f}"
+    if roll < 0.5:
+        return f"{noisy:.2f} GBP"
+    # EU convention: thousands '.', decimal ','
+    text = f"{noisy:,.2f}".replace(",", "_").replace(".", ",").replace("_", ".")
+    return f"{text} €"
+
+
+def _write_csv(path: Path, header: list, rows: list) -> None:
+    with open(path, "w", encoding="utf-8", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(header)
+        writer.writerows(rows)
+
+
+def _write_manifest(directory: Path, corpus: str, source_url: str, files: list) -> None:
+    payload = {
+        "corpus": corpus,
+        "variant": "bundled-mini",
+        "source_url": source_url,
+        "license": "synthetic stand-in (committed); real corpus CC-BY 4.0",
+        "normalization": ["strip_accents", "normalize_text", "parse_price_currency"],
+        "files": {
+            name: {"sha256": sha256_file(directory / name), "bytes": (directory / name).stat().st_size}
+            for name in files
+        },
+    }
+    (directory / MANIFEST_FILENAME).write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+
+
+def generate_abt_buy(seed: int = 20120801) -> None:
+    rng = random.Random(seed)
+    directory = DATA_ROOT / "abt_buy"
+    directory.mkdir(parents=True, exist_ok=True)
+    shared, abt_only, buy_only, extra_buy_dups = 215, 30, 25, 15
+
+    abt_rows, buy_rows, mapping_rows = [], [], []
+    used_ids = set()
+
+    def fresh_id() -> int:
+        while True:
+            candidate = rng.randint(100, 99999)
+            if candidate not in used_ids:
+                used_ids.add(candidate)
+                return candidate
+
+    entities = [_make_entity(rng) for _ in range(shared)]
+    hard_flags = [True] * int(shared * 0.4) + [False] * (shared - int(shared * 0.4))
+    rng.shuffle(hard_flags)
+    duplicate_indices = set(rng.sample(range(shared), extra_buy_dups))
+
+    def add_abt(entity):
+        abt_id = fresh_id()
+        abt_rows.append([
+            abt_id,
+            _verbose_title(entity, rng),
+            _description(entity, rng, blank_rate=0.15),
+            _price_text(entity["price"], rng, "us"),
+        ])
+        return abt_id
+
+    def add_buy(entity, hard):
+        buy_id = fresh_id()
+        buy_rows.append([
+            buy_id,
+            _terse_title(entity, rng, hard),
+            _description(entity, rng, blank_rate=0.55),
+            entity["brand"] if rng.random() < 0.8 else "",
+            _price_text(entity["price"], rng, "us"),
+        ])
+        return buy_id
+
+    for index, entity in enumerate(entities):
+        abt_id = add_abt(entity)
+        buy_id = add_buy(entity, hard_flags[index])
+        mapping_rows.append([abt_id, buy_id])
+        if index in duplicate_indices:
+            second = add_buy(entity, hard_flags[index])
+            mapping_rows.append([abt_id, second])
+    for _ in range(abt_only):
+        add_abt(_make_entity(rng))
+    for _ in range(buy_only):
+        add_buy(_make_entity(rng), hard=False)
+
+    _write_csv(directory / "Abt.csv", ["id", "name", "description", "price"], abt_rows)
+    _write_csv(
+        directory / "Buy.csv",
+        ["id", "name", "description", "manufacturer", "price"],
+        buy_rows,
+    )
+    _write_csv(directory / "abt_buy_perfectMapping.csv", ["idAbt", "idBuy"], mapping_rows)
+    _write_manifest(
+        directory,
+        "abt-buy",
+        "https://dbs.uni-leipzig.de/research/projects/benchmark-datasets-for-entity-resolution",
+        ["Abt.csv", "Buy.csv", "abt_buy_perfectMapping.csv"],
+    )
+    print(f"abt-buy: {len(abt_rows)} abt + {len(buy_rows)} buy records, "
+          f"{len(mapping_rows)} gold pairs → {directory}")
+
+
+def generate_amazon_google(seed: int = 20120802) -> None:
+    rng = random.Random(seed)
+    directory = DATA_ROOT / "amazon_google"
+    directory.mkdir(parents=True, exist_ok=True)
+    shared, amazon_only, google_only = 210, 35, 40
+
+    amazon_rows, google_rows, mapping_rows = [], [], []
+    counter = {"n": 0}
+
+    def amazon_id() -> str:
+        counter["n"] += 1
+        return "b" + "".join(rng.choices(string.digits, k=9)) + str(counter["n"])
+
+    def google_id() -> str:
+        counter["n"] += 1
+        return f"http://www.google.com/base/feeds/snippets/{rng.randint(10**12, 10**13 - 1)}{counter['n']}"
+
+    entities = [_make_entity(rng) for _ in range(shared)]
+    hard_flags = [True] * int(shared * 0.45) + [False] * (shared - int(shared * 0.45))
+    rng.shuffle(hard_flags)
+
+    def add_amazon(entity):
+        identifier = amazon_id()
+        amazon_rows.append([
+            identifier,
+            _verbose_title(entity, rng),
+            _description(entity, rng, blank_rate=0.2),
+            entity["brand"],
+            _price_text(entity["price"], rng, "us"),
+        ])
+        return identifier
+
+    def add_google(entity, hard):
+        identifier = google_id()
+        google_rows.append([
+            identifier,
+            _terse_title(entity, rng, hard).lower(),
+            _description(entity, rng, blank_rate=0.45).lower(),
+            entity["brand"].lower() if rng.random() < 0.6 else "",
+            _price_text(entity["price"], rng, "eu"),
+        ])
+        return identifier
+
+    for index, entity in enumerate(entities):
+        mapping_rows.append([add_amazon(entity), add_google(entity, hard_flags[index])])
+    for _ in range(amazon_only):
+        add_amazon(_make_entity(rng))
+    for _ in range(google_only):
+        add_google(_make_entity(rng), hard=False)
+
+    _write_csv(
+        directory / "Amazon.csv",
+        ["id", "title", "description", "manufacturer", "price"],
+        amazon_rows,
+    )
+    _write_csv(
+        directory / "GoogleProducts.csv",
+        ["id", "name", "description", "manufacturer", "price"],
+        google_rows,
+    )
+    _write_csv(
+        directory / "Amzon_GoogleProducts_perfectMapping.csv",
+        ["idAmazon", "idGoogleBase"],
+        mapping_rows,
+    )
+    _write_manifest(
+        directory,
+        "amazon-google",
+        "https://dbs.uni-leipzig.de/research/projects/benchmark-datasets-for-entity-resolution",
+        ["Amazon.csv", "GoogleProducts.csv", "Amzon_GoogleProducts_perfectMapping.csv"],
+    )
+    print(f"amazon-google: {len(amazon_rows)} amazon + {len(google_rows)} google records, "
+          f"{len(mapping_rows)} gold pairs → {directory}")
+
+
+if __name__ == "__main__":
+    generate_abt_buy()
+    generate_amazon_google()
