@@ -50,6 +50,9 @@ Examples::
         --storage-backend sqlite --checkpoint-dir /tmp/er-session \
         --metrics --trace /tmp/er-session/trace.jsonl \
         --metrics-out /tmp/er-session/metrics.prom
+    python -m repro.cli resolve-stream --dataset restaurant --batch-size 64 \
+        --crowd-mode async --vote-timeout 8 --max-inflight-hits 32 \
+        --fault-plan faults.json --metrics
     python -m repro.cli stats --checkpoint-dir /tmp/er-session
     python -m repro.cli stats --trace /tmp/er-session/trace.jsonl --json
 """
@@ -66,6 +69,7 @@ from typing import List, Optional
 from repro import obs
 from repro.core.config import WorkflowConfig
 from repro.core.workflow import HybridWorkflow
+from repro.crowd.faults import FaultPlan
 from repro.datasets.base import Dataset
 from repro.records.record import Record, RecordError
 from repro.datasets.paper_example import paper_example_matches, paper_example_store
@@ -308,6 +312,13 @@ def _load_update_records(path: str) -> List[Record]:
 
 def _cmd_resolve_stream(args: argparse.Namespace) -> int:
     dataset = load_dataset(args.dataset, args.scale, args.seed)
+    fault_plan = None
+    if args.fault_plan:
+        try:
+            fault_plan = FaultPlan.from_file(args.fault_plan).to_dict()
+        except (OSError, ValueError) as error:
+            _LOG.error(f"error: cannot read --fault-plan: {error}")
+            return 2
     # Observability is per process, not per stored session: enable it
     # before restore so page-in timings and counter continuity are covered.
     if args.metrics or args.metrics_out or args.trace:
@@ -333,6 +344,9 @@ def _cmd_resolve_stream(args: argparse.Namespace) -> int:
                 ("aggregation-scope", args.aggregation_scope,
                  config.streaming_aggregation_scope),
                 ("staleness-epsilon", args.staleness_epsilon, config.staleness_epsilon),
+                ("crowd-mode", args.crowd_mode, config.crowd_mode),
+                ("vote-timeout", args.vote_timeout, config.vote_timeout),
+                ("max-inflight-hits", args.max_inflight_hits, config.max_inflight_hits),
                 ("seed", args.seed, config.seed),
             ]
             if given != stored
@@ -358,6 +372,11 @@ def _cmd_resolve_stream(args: argparse.Namespace) -> int:
             recrowd_policy=args.recrowd_policy,
             streaming_aggregation_scope=args.aggregation_scope,
             staleness_epsilon=args.staleness_epsilon,
+            crowd_mode=args.crowd_mode,
+            vote_timeout=args.vote_timeout,
+            max_inflight_hits=args.max_inflight_hits,
+            backpressure_policy=args.backpressure_policy,
+            fault_plan=fault_plan,
             checkpoint_dir=args.checkpoint_dir,
             storage_backend=args.storage_backend,
             storage_path=args.storage_path,
@@ -547,6 +566,25 @@ def build_parser() -> argparse.ArgumentParser:
     stream.add_argument("--staleness-epsilon", type=int, default=0,
                         help="skip re-aggregating a dirty component that gained "
                              "fewer than this many new votes (0 = always re-run)")
+    stream.add_argument("--crowd-mode", choices=("sync", "async"), default="sync",
+                        help="sync: votes return with the publish call; async: "
+                             "HITs are published and votes arrive later "
+                             "(out of order, with retries and timeouts)")
+    stream.add_argument("--vote-timeout", type=int, default=8,
+                        help="async mode: ticks before an outstanding "
+                             "assignment times out and is retried")
+    stream.add_argument("--max-inflight-hits", type=int, default=64,
+                        help="async mode: backpressure window — HITs with "
+                             "undelivered votes allowed at once (0 = unbounded)")
+    stream.add_argument("--backpressure-policy", choices=("block", "shed"),
+                        default="block",
+                        help="async mode: when the in-flight window is full, "
+                             "block (advance the clock until it drains) or "
+                             "shed (defer publishing to the next batch)")
+    stream.add_argument("--fault-plan", type=str, default=None, metavar="FILE",
+                        help="async mode: JSON fault-injection plan (seeded "
+                             "delays, drops, duplicates, reordering, worker "
+                             "churn) applied to vote delivery")
     stream.add_argument("--checkpoint-dir", type=str, default=None,
                         help="make the session durable: write-ahead journal + "
                              "periodic snapshots in this directory")

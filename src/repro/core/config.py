@@ -94,6 +94,30 @@ class WorkflowConfig:
       attached at that path (one JSON object per span/counter event plus a
       final metrics snapshot).  Implies ``metrics_enabled`` behavior for
       this run; readable by ``repro stats --trace``.
+    * ``crowd_mode`` — how streaming sessions talk to the crowd:
+      ``"sync"`` (default; ``publish()`` returns every vote in-process) or
+      ``"async"`` (HITs are enqueued on a virtual clock and votes arrive
+      later through :meth:`repro.crowd.AsyncCrowdPlatform.poll`, with
+      timeouts, retries, reissues and deduplication; requires
+      ``vote_mode="per-pair"``).  Final results are bit-identical across
+      modes for any fault schedule with eventual delivery.
+    * ``vote_timeout`` — async mode: virtual-clock ticks before an
+      unanswered HIT assignment times out and is retried.
+    * ``max_inflight_hits`` — async mode backpressure window: the maximum
+      number of HITs with undelivered assignments; 0 = unbounded.
+    * ``backpressure_policy`` — what an async publish does when the
+      in-flight window is full: ``"block"`` advances the virtual clock
+      until votes drain, ``"shed"`` defers the publish (the session
+      retries the shed pairs on the next event and at flush).
+    * ``crowd_max_retries`` — async mode: free retry attempts per HIT
+      assignment before further attempts become paid reissues.
+    * ``crowd_backoff_ticks`` — async mode: base of the exponential retry
+      backoff (attempt ``n`` waits ``crowd_backoff_ticks * 2**(n-1)``
+      ticks plus deterministic jitter before reposting).
+    * ``fault_plan`` — async mode: optional JSON-friendly dict (the
+      :meth:`repro.crowd.FaultPlan.to_dict` shape) injecting deterministic
+      seeded delivery faults — delays, drops, duplicates, reorder, worker
+      churn, burst backlogs.  ``None`` (default) delivers fault-free.
     * ``seed`` — seed for the crowd simulation.
     """
 
@@ -122,6 +146,13 @@ class WorkflowConfig:
     decision_threshold: float = 0.5
     metrics_enabled: bool = False
     trace_path: Optional[str] = None
+    crowd_mode: str = "sync"
+    vote_timeout: int = 8
+    max_inflight_hits: int = 64
+    backpressure_policy: str = "block"
+    crowd_max_retries: int = 3
+    crowd_backoff_ticks: int = 2
+    fault_plan: Optional[dict] = None
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -167,3 +198,21 @@ class WorkflowConfig:
             raise ValueError("decision_threshold must be in [0, 1]")
         if self.trace_path is not None and not str(self.trace_path):
             raise ValueError("trace_path must be a non-empty path or None")
+        if self.crowd_mode not in ("sync", "async"):
+            raise ValueError("crowd_mode must be 'sync' or 'async'")
+        if self.crowd_mode == "async" and self.vote_mode != "per-pair":
+            raise ValueError("crowd_mode='async' requires vote_mode='per-pair'")
+        if self.vote_timeout < 1:
+            raise ValueError("vote_timeout must be at least 1 tick")
+        if self.max_inflight_hits < 0:
+            raise ValueError("max_inflight_hits must be non-negative (0 = unbounded)")
+        if self.backpressure_policy not in ("block", "shed"):
+            raise ValueError("backpressure_policy must be 'block' or 'shed'")
+        if self.crowd_max_retries < 0:
+            raise ValueError("crowd_max_retries must be non-negative")
+        if self.crowd_backoff_ticks < 0:
+            raise ValueError("crowd_backoff_ticks must be non-negative")
+        if self.fault_plan is not None and not isinstance(self.fault_plan, dict):
+            raise ValueError(
+                "fault_plan must be a JSON-friendly dict (FaultPlan.to_dict()) or None"
+            )

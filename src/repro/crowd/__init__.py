@@ -21,6 +21,12 @@ from repro.crowd.qualification import QualificationTest
 from repro.crowd.pricing import PricingModel
 from repro.crowd.latency import LatencyModel, LatencyEstimate
 from repro.crowd.platform import SimulatedCrowdPlatform, CrowdRunResult
+from repro.crowd.faults import AssignmentFate, FaultPlan
+from repro.crowd.async_platform import (
+    AsyncCrowdPlatform,
+    BackpressureError,
+    VoteDelivery,
+)
 
 __all__ = [
     "Worker",
@@ -32,4 +38,9 @@ __all__ = [
     "LatencyEstimate",
     "SimulatedCrowdPlatform",
     "CrowdRunResult",
+    "AssignmentFate",
+    "FaultPlan",
+    "AsyncCrowdPlatform",
+    "BackpressureError",
+    "VoteDelivery",
 ]

@@ -23,9 +23,9 @@ Two quantities are modelled:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from statistics import median
-from typing import List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 
 @dataclass
@@ -81,6 +81,12 @@ class LatencyModel:
     qualification_participation: float = 0.40
     qualification_extra_seconds: float = 6.0
     recruitment_minutes: float = 12.0
+    #: Memo for :meth:`effective_workers`, keyed on every input the result
+    #: depends on (so mutating a model parameter naturally misses the cache
+    #: instead of serving a stale figure).
+    _effective_workers_cache: Dict[Tuple, float] = field(
+        default_factory=dict, repr=False, compare=False
+    )
 
     # ------------------------------------------------------ per assignment
     def pair_assignment_seconds(self, pair_count: int, qualified: bool = False) -> float:
@@ -115,11 +121,30 @@ class LatencyModel:
     def effective_workers(
         self, hit_type: str, pairs_per_hit: Optional[int] = None, qualification: bool = False
     ) -> float:
-        """Number of workers effectively working on the batch in parallel."""
+        """Number of workers effectively working on the batch in parallel.
+
+        Memoized per distinct input (and per model parameterisation): the
+        streaming resolver calls this on every publish with an unchanged
+        configuration, so the appeal arithmetic runs once, not per batch.
+        """
+        key = (
+            hit_type,
+            pairs_per_hit,
+            qualification,
+            self.pool_size,
+            self.cluster_appeal,
+            self.pair_reference_batch,
+            self.qualification_participation,
+        )
+        cached = self._effective_workers_cache.get(key)
+        if cached is not None:
+            return cached
         workers = self.pool_size * self.batch_appeal(hit_type, pairs_per_hit)
         if qualification:
             workers *= self.qualification_participation
-        return max(1.0, workers)
+        workers = max(1.0, workers)
+        self._effective_workers_cache[key] = workers
+        return workers
 
     # --------------------------------------------------------------- totals
     def estimate(

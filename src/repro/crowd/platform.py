@@ -111,7 +111,20 @@ class SimulatedCrowdPlatform:
         self.seed = seed
         self.vote_mode = vote_mode
         self._rejected_count = 0
-        self._eligible = self._determine_eligible_workers()
+        # Eligibility cache keyed on the pool's membership version: churn
+        # (add/remove worker) invalidates it, everything else — including
+        # every publish — reuses the filtered list instead of re-running
+        # the qualification test per call.
+        self._eligible_version: Optional[int] = None
+        self._eligible_workers: List[Worker] = []
+        _ = self._eligible  # warm the cache so _rejected_count is set
+
+    @property
+    def _eligible(self) -> List[Worker]:
+        if self._eligible_version != self.pool.version:
+            self._eligible_workers = self._determine_eligible_workers()
+            self._eligible_version = self.pool.version
+        return self._eligible_workers
 
     def _determine_eligible_workers(self) -> List[Worker]:
         if self.qualification is None:

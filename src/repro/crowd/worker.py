@@ -152,6 +152,10 @@ class WorkerPool:
         if not workers:
             raise ValueError("a worker pool needs at least one worker")
         self._workers = list(workers)
+        #: Bumped on every membership change so platform-side eligibility
+        #: caches can key on ``(pool identity, version)`` and invalidate
+        #: exactly when churn happens instead of re-deriving per publish.
+        self.version = 0
 
     @classmethod
     def build(
@@ -184,6 +188,21 @@ class WorkerPool:
                 workers.append(Worker(f"worker-{index + 1}", profile, seed=seed + index))
                 index += 1
         return cls(workers)
+
+    def add_worker(self, worker: Worker) -> None:
+        """Add a worker to the pool (churn: someone comes online)."""
+        self._workers.append(worker)
+        self.version += 1
+
+    def remove_worker(self, worker_id: str) -> Worker:
+        """Remove a worker by id (churn: someone goes offline)."""
+        for index, worker in enumerate(self._workers):
+            if worker.worker_id == worker_id:
+                if len(self._workers) == 1:
+                    raise ValueError("cannot remove the last worker of a pool")
+                self.version += 1
+                return self._workers.pop(index)
+        raise KeyError(f"no worker {worker_id!r} in the pool")
 
     def __len__(self) -> int:
         return len(self._workers)

@@ -51,6 +51,11 @@ class CostReport:
     crowd_work_seconds: float = 0.0
     #: Simulated end-to-end crowd latency in minutes (latency-model output).
     crowd_elapsed_minutes: float = 0.0
+    #: Async crowd robustness numbers (all zero for synchronous runs).
+    crowd_retries: int = 0
+    crowd_timeouts: int = 0
+    crowd_reissued: int = 0
+    crowd_duplicates_dropped: int = 0
     #: Real wall-clock seconds spent inside top-level machine spans; None
     #: when the run had no metrics (e.g. a store written without
     #: ``metrics_enabled``).
@@ -69,6 +74,10 @@ class CostReport:
             "crowd_cost_dollars": self.crowd_cost_dollars,
             "crowd_work_seconds": self.crowd_work_seconds,
             "crowd_elapsed_minutes": self.crowd_elapsed_minutes,
+            "crowd_retries": self.crowd_retries,
+            "crowd_timeouts": self.crowd_timeouts,
+            "crowd_reissued": self.crowd_reissued,
+            "crowd_duplicates_dropped": self.crowd_duplicates_dropped,
             "machine_seconds": self.machine_seconds,
             "phase_seconds": {
                 name: {"calls": calls, "seconds": seconds}
@@ -92,6 +101,12 @@ class CostReport:
         report.crowd_cost_dollars = snapshot.counter_total("crowd_cost_dollars_total")
         report.crowd_work_seconds = snapshot.counter_total("crowd_work_seconds_total")
         report.crowd_elapsed_minutes = snapshot.counter_total("crowd_elapsed_minutes_total")
+        report.crowd_retries = int(snapshot.counter_total("crowd_retries_total"))
+        report.crowd_timeouts = int(snapshot.counter_total("crowd_timeouts_total"))
+        report.crowd_reissued = int(snapshot.counter_total("crowd_reissued_total"))
+        report.crowd_duplicates_dropped = int(
+            snapshot.counter_total("crowd_duplicates_dropped_total")
+        )
         spans = snapshot.get("span_seconds")
         machine = 0.0
         if spans is not None:
@@ -133,6 +148,7 @@ class CostReport:
             if store.get_meta("version") is None:
                 raise ValueError(f"{path} does not hold a resolution session")
             session_meta = store.get_meta("session") or {}
+            async_meta = store.get_meta("async") or {}
             metrics_payload = store.get_meta("metrics")
             assignment_seconds = store.load_assignment_seconds()
             ledger_votes = sum(len(votes) for votes in store.ledger.votes.values())
@@ -154,6 +170,19 @@ class CostReport:
             report.votes = ledger_votes
         if not report.crowd_work_seconds:
             report.crowd_work_seconds = float(sum(assignment_seconds))
+        # Async robustness counters live in the mirrored platform state, so
+        # they survive runs without metrics_enabled too.
+        platform_state = async_meta.get("platform") or {}
+        if not report.crowd_retries:
+            report.crowd_retries = int(platform_state.get("retries", 0))
+        if not report.crowd_timeouts:
+            report.crowd_timeouts = int(platform_state.get("timeouts", 0))
+        if not report.crowd_reissued:
+            report.crowd_reissued = int(platform_state.get("reissued", 0))
+        if not report.crowd_duplicates_dropped:
+            report.crowd_duplicates_dropped = int(
+                platform_state.get("duplicates_dropped", 0)
+            )
         return report
 
     @classmethod
@@ -198,6 +227,10 @@ class CostReport:
         report.crowd_cost_dollars = total("crowd_cost_dollars_total")
         report.crowd_work_seconds = total("crowd_work_seconds_total")
         report.crowd_elapsed_minutes = total("crowd_elapsed_minutes_total")
+        report.crowd_retries = int(total("crowd_retries_total"))
+        report.crowd_timeouts = int(total("crowd_timeouts_total"))
+        report.crowd_reissued = int(total("crowd_reissued_total"))
+        report.crowd_duplicates_dropped = int(total("crowd_duplicates_dropped_total"))
         report.phase_seconds = spans
         report.machine_seconds = (
             sum(
@@ -228,6 +261,14 @@ class CostReport:
         if self.crowd_elapsed_minutes:
             lines.append(
                 f"  crowd latency (simulated): {self.crowd_elapsed_minutes:.1f} min"
+            )
+        if self.crowd_retries or self.crowd_timeouts or self.crowd_reissued:
+            # Reissues cost real money — their assignments are already part
+            # of the crowd cost above; this line shows where it went.
+            lines.append(
+                f"  async robustness       : {self.crowd_timeouts} timeouts, "
+                f"{self.crowd_retries} retries, {self.crowd_reissued} reissued, "
+                f"{self.crowd_duplicates_dropped} duplicates dropped"
             )
         if self.machine_seconds is None:
             lines.append("  machine time           : n/a (run without metrics_enabled)")

@@ -119,6 +119,48 @@ def decode_votes(payload: Sequence[list]) -> List[Tuple[str, Tuple[str, str], bo
     return [(worker, (key[0], key[1]), bool(answer)) for worker, key, answer in payload]
 
 
+def encode_slot_votes(
+    slot_votes: Dict[Tuple[str, str], Dict[int, Tuple[str, Tuple[str, str], bool]]],
+) -> List[list]:
+    """JSON-safe encoding of the async layer's partial per-pair vote slots.
+
+    One entry per in-flight pair: ``[id_a, id_b, [[slot, worker, answer],
+    ...]]`` — the pair key is not repeated inside each vote, it is
+    reconstructed on decode.
+    """
+    return [
+        [
+            key[0],
+            key[1],
+            [[slot, vote[0], bool(vote[2])] for slot, vote in sorted(slots.items())],
+        ]
+        for key, slots in sorted(slot_votes.items())
+    ]
+
+
+def decode_slot_votes(
+    payload: Sequence[list],
+) -> Dict[Tuple[str, str], Dict[int, Tuple[str, Tuple[str, str], bool]]]:
+    """Inverse of :func:`encode_slot_votes`."""
+    return {
+        (id_a, id_b): {
+            slot: (worker, (id_a, id_b), bool(answer))
+            for slot, worker, answer in slots
+        }
+        for id_a, id_b, slots in payload
+    }
+
+
+def encode_pair_map(mapping: Dict[Tuple[str, str], int]) -> List[list]:
+    """JSON-safe encoding of a ``pair key -> int`` map (e.g. in-flight rounds)."""
+    return [[key[0], key[1], value] for key, value in sorted(mapping.items())]
+
+
+def decode_pair_map(payload: Sequence[list]) -> Dict[Tuple[str, str], int]:
+    """Inverse of :func:`encode_pair_map`."""
+    return {(id_a, id_b): value for id_a, id_b, value in payload}
+
+
 def _line_crc(seq: int, event_type: str, payload: Dict[str, object]) -> int:
     canonical = json.dumps(
         {"seq": seq, "type": event_type, "payload": payload},

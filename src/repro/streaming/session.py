@@ -70,6 +70,12 @@ from repro.core.config import WorkflowConfig
 from repro.core.ranking import rank_candidates
 from repro.core.results import ResolutionResult, StreamingDelta
 from repro.core.workflow import build_aggregator, build_hit_generator
+from repro.crowd.async_platform import (
+    AsyncCrowdPlatform,
+    BackpressureError,
+    VoteDelivery,
+)
+from repro.crowd.faults import FaultPlan
 from repro.crowd.latency import LatencyModel
 from repro.crowd.platform import SimulatedCrowdPlatform
 from repro.crowd.pricing import PricingModel
@@ -125,6 +131,16 @@ RESULT_CONFIG_FIELDS = (
     "recrowd_policy",
     "streaming_aggregation_scope",
     "staleness_epsilon",
+    # The async crowd knobs are result-bearing because retry reissues cost
+    # real (simulated) money: a different timeout/backoff/fault schedule
+    # yields a different accumulated cost, and cost is part of the digest.
+    "crowd_mode",
+    "vote_timeout",
+    "max_inflight_hits",
+    "backpressure_policy",
+    "crowd_max_retries",
+    "crowd_backoff_ticks",
+    "fault_plan",
     "seed",
 )
 
@@ -187,6 +203,33 @@ class StreamingResolver:
                 seed=self.config.seed,
                 vote_mode="per-pair",
             )
+        # Async crowd mode: the same deterministic per-pair platform, but
+        # publishes enqueue HITs on a virtual clock and votes arrive through
+        # per-event polls (with timeouts, retries, reissues, backpressure).
+        self.crowd: Optional[AsyncCrowdPlatform] = None
+        if self.config.crowd_mode == "async":
+            self.crowd = AsyncCrowdPlatform(
+                self.platform,
+                vote_timeout=self.config.vote_timeout,
+                max_inflight_hits=self.config.max_inflight_hits,
+                backpressure_policy=self.config.backpressure_policy,
+                max_retries=self.config.crowd_max_retries,
+                backoff_ticks=self.config.crowd_backoff_ticks,
+                fault_plan=(
+                    FaultPlan.from_dict(self.config.fault_plan)
+                    if self.config.fault_plan is not None
+                    else None
+                ),
+            )
+        # Degraded-progress bookkeeping (async mode): partially delivered
+        # vote slots per in-flight pair, the vote round each pair was
+        # published under, and pairs whose publish was shed by backpressure
+        # (retried on the next crowd event and force-published at flush).
+        # A pair enters the ledger only when all of its slots have arrived,
+        # so sync-mode ledger/digest semantics are untouched.
+        self._slot_votes: Dict[PairKey, Dict[int, Vote]] = {}
+        self._inflight_rounds: Dict[PairKey, int] = {}
+        self._starved_pairs: Set[PairKey] = set()
         # Storage backend: every piece of accumulated state lives behind
         # it.  The memory backend is the pre-existing in-process state;
         # the sqlite backend mirrors each event into one WAL-mode file
@@ -502,13 +545,21 @@ class StreamingResolver:
             delta.dirty_pairs = len(dirty_pairs)
 
             # Stages 3 + 4: regenerate HITs for dirty components and crowdsource.
-            if dirty_pairs:
+            if dirty_pairs or (self.crowd is not None and self._starved_pairs):
                 with obs.span("streaming.batch.crowd", pairs=len(dirty_pairs)):
                     self._crowdsource_dirty(dirty_pairs, delta)
 
+            # Stage 4b (async mode): poll the platform — one virtual tick per
+            # event — and fold completed pairs into the ledger; their whole
+            # components re-aggregate alongside the batch's own dirty region.
+            completed_pairs: Set[PairKey] = set()
+            if self.crowd is not None:
+                completed_pairs = self._ingest_async(delta)
+
             # Stage 5: re-aggregate what changed.
-            with obs.span("streaming.batch.aggregate", pairs=len(dirty_pairs)):
-                self._aggregate(dirty_pairs, delta)
+            aggregate_pairs = dirty_pairs | self._expand_components(completed_pairs)
+            with obs.span("streaming.batch.aggregate", pairs=len(aggregate_pairs)):
+                self._aggregate(aggregate_pairs, delta)
 
             self.components.clear_dirty()
         self._last_delta = delta
@@ -529,6 +580,12 @@ class StreamingResolver:
             for key in impact.dropped_pairs:
                 self.candidates.discard(*key)
                 self._ledger.drop_pair(key)
+                # Async bookkeeping: a retracted pair's in-flight votes are
+                # abandoned (late deliveries for it will be ignored on
+                # ingest) and its shed publishes are cancelled.
+                self._inflight_rounds.pop(key, None)
+                self._slot_votes.pop(key, None)
+                self._starved_pairs.discard(key)
             delta.invalidated_pairs = len(impact.dropped_pairs)
 
             # Re-form the dissolved component from the surviving edges; the
@@ -576,6 +633,13 @@ class StreamingResolver:
     def _apply_flush(self) -> ResolutionResult:
         self._last_fresh_votes = {}
         with obs.span("streaming.flush"):
+            if self.crowd is not None:
+                # Settle the async crowd first: force-publish shed pairs,
+                # drain every outstanding delivery (retries included) and
+                # fold the completions into the ledger.  The completed
+                # pairs gain pending votes, so the staleness flush below
+                # re-aggregates their components.
+                self._flush_async()
             pending = [
                 key
                 for key, gained in self._pending_votes.items()
@@ -641,6 +705,7 @@ class StreamingResolver:
                 "last_delta": self._last_delta.as_dict(),
             },
         )
+        self.storage.set_meta("async", self._async_state_dict())
         self.storage.set_meta("events_applied", self._events_applied)
 
     def _finish_event(self) -> None:
@@ -995,6 +1060,7 @@ class StreamingResolver:
         self._generator_name = session_meta.get("generator_name", "")
         self._batch_index = int(session_meta.get("batch_index", 0))
         self._last_delta = StreamingDelta(**session_meta.get("last_delta", {}))
+        self._load_async_state(storage.get_meta("async"))
         self._events_applied = int(storage.get_meta("events_applied", 0))
         self._last_fresh_votes = None
         if obs.enabled():
@@ -1088,6 +1154,9 @@ class StreamingResolver:
             "generator_name": self._generator_name,
             "batch_index": self._batch_index,
             "last_delta": self._last_delta.as_dict(),
+            # Async crowd queue + degraded-progress bookkeeping (None in
+            # sync mode and absent in pre-async snapshots).
+            "async": self._async_state_dict(),
             # Purely observational; absent/None in snapshots written while
             # metrics were off, and ignored by the state digest.
             "metrics": (
@@ -1141,6 +1210,7 @@ class StreamingResolver:
         self._generator_name = state["generator_name"]  # type: ignore[assignment]
         self._batch_index = state["batch_index"]  # type: ignore[assignment]
         self._last_delta = StreamingDelta(**state["last_delta"])  # type: ignore[arg-type]
+        self._load_async_state(state.get("async"))  # type: ignore[arg-type]
         self._last_fresh_votes = {}
         if obs.enabled():
             obs.merge_snapshot(state.get("metrics"))  # type: ignore[arg-type]
@@ -1157,6 +1227,10 @@ class StreamingResolver:
         dirty components are re-batched — already-voted pairs keep their
         ledger entry and cost nothing more; ``"dirty"`` re-batches (and
         re-asks) every dirty pair with a fresh vote round.
+
+        In async mode pairs whose votes are already in flight are excluded
+        (a pair has exactly one outstanding crowd round at a time) and
+        pairs shed by backpressure on an earlier event are retried.
         """
         if self.config.recrowd_policy == "dirty":
             to_vote = set(dirty_pairs)
@@ -1165,54 +1239,232 @@ class StreamingResolver:
         delta.reused_vote_pairs = sum(
             1 for key in dirty_pairs - to_vote if key in self._votes
         )
+        if self.crowd is not None:
+            to_vote |= self._starved_pairs
+            to_vote -= set(self._inflight_rounds)
         if not to_vote:
             return
+        self._publish_hits(to_vote, delta)
+
+    def _publish_hits(
+        self,
+        to_vote: Set[PairKey],
+        delta: Optional[StreamingDelta],
+        force: bool = False,
+    ) -> bool:
+        """Batch ``to_vote`` into HITs and publish them to the crowd.
+
+        Sync mode folds the returned votes into the ledger immediately;
+        async mode registers the covered pairs as in-flight (their votes
+        arrive through later polls) and returns ``False`` when the publish
+        was shed by backpressure — the pairs are then parked in the starved
+        backlog instead.
+        """
         # Sorted-key order makes HIT grouping independent of arrival order.
         vote_set = PairSet(
             self.candidates.get(id_a, id_b) for id_a, id_b in sorted(to_vote)
         )
         batch_hits = build_hit_generator(self.config).generate(vote_set)
-        self._generator_name = batch_hits.generator_name
         rounds = {key: self._vote_rounds.get(key, 0) for key in to_vote}
 
-        crowd_run = self.platform.publish(
-            batch_hits,
-            true_matches=self._truth,
-            candidate_pairs=to_vote,
-            vote_rounds=rounds,
-        )
+        if self.crowd is not None:
+            try:
+                crowd_run = self.crowd.publish(
+                    batch_hits,
+                    true_matches=self._truth,
+                    candidate_pairs=to_vote,
+                    vote_rounds=rounds,
+                    force=force,
+                )
+            except BackpressureError:
+                self._starved_pairs |= to_vote
+                logger.debug(
+                    "event %d: backpressure shed %d pairs (%d HITs)",
+                    self._batch_index, len(to_vote), batch_hits.hit_count,
+                )
+                return False
+        else:
+            crowd_run = self.platform.publish(
+                batch_hits,
+                true_matches=self._truth,
+                candidate_pairs=to_vote,
+                vote_rounds=rounds,
+            )
+        self._generator_name = batch_hits.generator_name
         self._ledger.mark_covered(batch_hits.covered_pairs())
         # Pair provenance: which HITs of which batch covered each pair.
+        claimed: Set[PairKey] = set()
         for hit in batch_hits.hits:
             hit_id = f"b{self._batch_index}:{hit.hit_id}"
             if batch_hits.hit_type == "pair":
                 covered_here = hit.checkable_pairs() & to_vote
             else:
                 covered_here = hit.checkable_pairs(to_vote)
+            claimed |= covered_here
             for key in sorted(covered_here):
                 self.provenance.record_coverage(key, hit_id)
 
-        fresh: Dict[PairKey, List[Vote]] = {}
-        for vote in crowd_run.votes:
-            fresh.setdefault(vote[1], []).append(vote)
-        for key, votes in fresh.items():
-            self._ledger.record_fresh_votes(key, votes)
-            self.provenance.record_votes(
-                key, self._batch_index, rounds.get(key, 0), len(votes)
-            )
-        self._last_fresh_votes = fresh
+        if self.crowd is not None:
+            # Votes arrive later; only pairs actually carried by a HIT go
+            # in flight (a pair no HIT covered stays unvoted, like sync).
+            self._starved_pairs -= to_vote
+            for key in claimed:
+                self._inflight_rounds[key] = rounds[key]
+                self._slot_votes.setdefault(key, {})
+        else:
+            fresh: Dict[PairKey, List[Vote]] = {}
+            for vote in crowd_run.votes:
+                fresh.setdefault(vote[1], []).append(vote)
+            for key, votes in fresh.items():
+                self._ledger.record_fresh_votes(key, votes)
+                self.provenance.record_votes(
+                    key, self._batch_index, rounds.get(key, 0), len(votes)
+                )
+            self._last_fresh_votes = fresh
+            self._assignment_seconds.extend(crowd_run.assignment_seconds)
+            self.storage.append_assignment_seconds(crowd_run.assignment_seconds)
+            if delta is not None:
+                delta.crowdsourced_pairs = len(fresh)
 
         self._hit_count += crowd_run.hit_count
         self._cost += crowd_run.cost
-        self._assignment_seconds.extend(crowd_run.assignment_seconds)
-        self.storage.append_assignment_seconds(crowd_run.assignment_seconds)
         if self.config.hit_type == "pair" and batch_hits.hits:
             largest = batch_hits.max_hit_size()
             if self._pairs_per_hit_seen is None or largest > self._pairs_per_hit_seen:
                 self._pairs_per_hit_seen = largest
+        if delta is not None:
+            delta.regenerated_hits += crowd_run.hit_count
+        return True
 
-        delta.regenerated_hits = crowd_run.hit_count
-        delta.crowdsourced_pairs = len(fresh)
+    # ------------------------------------------------------- async ingestion
+    def _ingest_async(self, delta: StreamingDelta) -> Set[PairKey]:
+        """One async crowd step: advance the virtual clock, ingest arrivals.
+
+        Every applied batch event is one tick of the virtual clock; the
+        deliveries that came due are folded into the per-pair vote slots,
+        and pairs whose last slot arrived are committed to the ledger.
+        Returns the completed pairs (the batch re-aggregates their
+        components).
+        """
+        assert self.crowd is not None
+        with obs.span(
+            "crowd.await_votes",
+            inflight=len(self._inflight_rounds),
+            starved=len(self._starved_pairs),
+        ):
+            deliveries = self.crowd.poll(1)
+        completed = self._ingest_deliveries(deliveries)
+        self._cost += self.crowd.take_extra_cost()
+        delta.crowdsourced_pairs = len(completed)
+        return completed
+
+    def _ingest_deliveries(self, deliveries: List[VoteDelivery]) -> Set[PairKey]:
+        """Fold accepted deliveries into the vote slots; commit completions.
+
+        A delivery's votes only count toward pairs still in flight at the
+        round they were published under — late deliveries for retracted or
+        superseded pairs are ignored (their content is content-addressed by
+        (pair, round), so ignoring them loses nothing).  When a pair's
+        every slot has arrived, its votes enter the ledger in slot order,
+        which is exactly the per-pair oracle order a synchronous publish
+        records — the source of the async == sync equivalence.
+        """
+        completed: Set[PairKey] = set()
+        replication = self.platform.assignments_per_hit
+        for delivery in deliveries:
+            self._assignment_seconds.append(delivery.seconds)
+            self.storage.append_assignment_seconds([delivery.seconds])
+            for vote in delivery.votes:
+                key = vote[1]
+                round_index = delivery.pair_rounds.get(key, 0)
+                if self._inflight_rounds.get(key) != round_index:
+                    continue
+                slots = self._slot_votes.setdefault(key, {})
+                if delivery.slot in slots:
+                    continue
+                slots[delivery.slot] = vote
+                if len(slots) == replication:
+                    votes = [slots[slot] for slot in range(replication)]
+                    self._ledger.record_fresh_votes(key, votes)
+                    self.provenance.record_votes(
+                        key, self._batch_index, round_index, len(votes)
+                    )
+                    if self._last_fresh_votes is not None:
+                        self._last_fresh_votes[key] = votes
+                    del self._slot_votes[key]
+                    del self._inflight_rounds[key]
+                    completed.add(key)
+        return completed
+
+    def _expand_components(self, completed: Set[PairKey]) -> Set[PairKey]:
+        """All provenance pairs of the components the completed pairs touch.
+
+        Late votes re-aggregate only the affected components: each
+        completion dirties exactly its component, mirroring how a batch
+        arrival dirties the components it touches.
+        """
+        if not completed:
+            return set()
+        expanded: Set[PairKey] = set()
+        roots = {self.components.find(key[0]) for key in completed}
+        for root in roots:
+            for member in self.components.members(root):
+                expanded.update(self.provenance.pairs_of(member))
+        return expanded
+
+    def _flush_async(self) -> Set[PairKey]:
+        """Settle the async crowd completely: nothing in flight afterwards.
+
+        Force-publishes the starved backlog past the backpressure window,
+        then advances the virtual clock until every outstanding assignment
+        (retries and reissues included) has delivered, ingesting as it
+        goes.  Terminates for any fault plan because the plan's
+        ``max_faulty_attempts`` bounds how long a slot can stay undelivered.
+        """
+        assert self.crowd is not None
+        completed: Set[PairKey] = set()
+        guard = 0
+        while True:
+            if self._starved_pairs:
+                self._publish_hits(set(self._starved_pairs), None, force=True)
+            deliveries = self.crowd.settle()
+            completed |= self._ingest_deliveries(deliveries)
+            self._cost += self.crowd.take_extra_cost()
+            if not self._starved_pairs and not self._inflight_rounds:
+                break
+            guard += 1
+            if guard > 1000:  # pragma: no cover - defensive
+                raise persistence.PersistenceError(
+                    "async crowd flush failed to settle"
+                )
+        return completed
+
+    def _async_state_dict(self) -> Optional[Dict[str, object]]:
+        """JSON-friendly async crowd state (None in sync mode)."""
+        if self.crowd is None:
+            return None
+        return {
+            "platform": self.crowd.state_dict(),
+            "slot_votes": persistence.encode_slot_votes(self._slot_votes),
+            "inflight_rounds": persistence.encode_pair_map(self._inflight_rounds),
+            "starved": [[key[0], key[1]] for key in sorted(self._starved_pairs)],
+        }
+
+    def _load_async_state(self, payload: Optional[Dict[str, object]]) -> None:
+        """Inverse of :meth:`_async_state_dict` (tolerates pre-async state)."""
+        self._slot_votes = {}
+        self._inflight_rounds = {}
+        self._starved_pairs = set()
+        if self.crowd is None or not payload:
+            return
+        self.crowd.load_state_dict(payload["platform"])  # type: ignore[arg-type]
+        self._slot_votes = persistence.decode_slot_votes(payload.get("slot_votes", []))  # type: ignore[arg-type]
+        self._inflight_rounds = persistence.decode_pair_map(
+            payload.get("inflight_rounds", [])  # type: ignore[arg-type]
+        )
+        self._starved_pairs = {
+            (id_a, id_b) for id_a, id_b in payload.get("starved", [])  # type: ignore[union-attr]
+        }
 
     def _aggregate(
         self,

@@ -17,6 +17,7 @@ import string
 
 from hypothesis import strategies as st
 
+from repro.crowd.faults import FaultPlan
 from repro.records.pairs import PairSet, RecordPair
 from repro.records.record import Record, RecordStore
 
@@ -80,6 +81,31 @@ def pair_sets(draw):
     for id_a, id_b in edges:
         pairs.add(RecordPair(id_a, id_b, likelihood=0.5))
     return pairs
+
+
+@st.composite
+def fault_plans(draw):
+    """Random seeded crowd fault plans, from benign to outright hostile.
+
+    Probabilities are drawn from small discrete grids (not continuous
+    floats) so shrinking lands on readable plans and the hostile corner
+    (drops + duplicates + reordering + churn + bursts all at once) is
+    actually reachable within a handful of examples.
+    """
+    delay_min = draw(st.integers(min_value=0, max_value=2))
+    return FaultPlan(
+        seed=draw(st.integers(min_value=0, max_value=10_000)),
+        delay_ticks_min=delay_min,
+        delay_ticks_max=delay_min + draw(st.integers(min_value=0, max_value=4)),
+        drop_probability=draw(st.sampled_from((0.0, 0.2, 0.5))),
+        duplicate_probability=draw(st.sampled_from((0.0, 0.2, 0.4))),
+        duplicate_delay_ticks=draw(st.integers(min_value=0, max_value=3)),
+        reorder_probability=draw(st.sampled_from((0.0, 0.3, 0.6))),
+        reorder_window_ticks=draw(st.integers(min_value=0, max_value=4)),
+        churn_probability=draw(st.sampled_from((0.0, 0.2))),
+        burst_every=draw(st.sampled_from((0, 2, 3))),
+        burst_backlog_ticks=draw(st.integers(min_value=0, max_value=5)),
+    )
 
 
 # ---------------------------------------------------------- event schedules

@@ -629,6 +629,174 @@ class TestRestoreRejoin:
         assert_sessions_identical(fresh, rejoined)
 
 
+# --------------------------------------------- async crowd crash recovery
+class TestAsyncCrashRecovery:
+    """Crash recovery under partial votes.
+
+    A durable asynchronous session killed while HITs are in flight (votes
+    published but only partially delivered) must restore — snapshot plus
+    journal-tail replay, or store page-in — to a state that converges to
+    the uninterrupted twin bit-identically.  The async platform state
+    (pending attempts, buffered deliveries, per-pair slot accumulators,
+    starved backlog) rides in the snapshot/store meta, so replaying the
+    journal tail re-derives the exact delivery schedule.
+    """
+
+    ASYNC = dict(
+        crowd_mode="async",
+        vote_timeout=3,
+        crowd_max_retries=2,
+        fault_plan=dict(
+            seed=17, delay_ticks_max=5, drop_probability=0.3,
+            duplicate_probability=0.2, reorder_probability=0.4,
+            reorder_window_ticks=3, churn_probability=0.1,
+        ),
+    )
+
+    def run_uninterrupted(self, records, truth, **overrides):
+        resolver = StreamingResolver(config=make_config(**self.ASYNC, **overrides))
+        resolver.add_truth(truth)
+        for start in range(0, len(records), 10):
+            resolver.add_batch(records[start : start + 10])
+        resolver.flush()
+        return resolver
+
+    @pytest.mark.parametrize("backend", ("memory", "sqlite"))
+    def test_crash_mid_delivery_restores_identically(self, tmp_path, backend):
+        dataset = make_dataset()
+        records = list(dataset.store)
+        twin = self.run_uninterrupted(records, dataset.ground_truth)
+
+        config = make_config(
+            storage_backend=backend, checkpoint_dir=str(tmp_path), **self.ASYNC
+        )
+        resolver = StreamingResolver(config=config)
+        resolver.add_truth(dataset.ground_truth)
+        for start in range(0, 30, 10):
+            resolver.add_batch(records[start : start + 10])
+        # The crash is only interesting if votes really are in flight.
+        assert resolver._inflight_rounds or resolver._slot_votes
+        if backend == "sqlite":
+            # Losing the open store transaction is part of the crash.
+            resolver.storage.rollback()
+        resolver.storage.close()
+
+        restored = StreamingResolver.restore(str(tmp_path))
+        for start in range(30, len(records), 10):
+            restored.add_batch(records[start : start + 10])
+        restored.flush()
+        assert_sessions_identical(twin, restored)
+        assert not restored._inflight_rounds and not restored._starved_pairs
+        restored.storage.close()
+
+    def test_crash_between_arrival_and_commit_replays_the_intent(self, tmp_path):
+        """Votes that arrived inside an uncommitted event are not lost: the
+        store rolls back to the last event boundary and the journaled
+        intent replays the batch — including its poll of the async
+        platform — deterministically."""
+        from repro.streaming import persistence
+
+        dataset = make_dataset()
+        records = list(dataset.store)
+        twin = self.run_uninterrupted(records[:40], dataset.ground_truth)
+
+        config = make_config(
+            storage_backend="sqlite", checkpoint_dir=str(tmp_path), **self.ASYNC
+        )
+        resolver = StreamingResolver(config=config)
+        resolver.add_truth(dataset.ground_truth)
+        for start in range(0, 30, 10):
+            resolver.add_batch(records[start : start + 10])
+        batch = records[30:40]
+        resolver._journal_intent(
+            "batch", {"records": [persistence.encode_record(r) for r in batch]}
+        )
+        resolver._apply_batch(batch, None)  # deliveries ingested, not committed
+        resolver.storage.rollback()
+        resolver.storage.close()
+
+        restored = StreamingResolver.restore(str(tmp_path))
+        restored.flush()
+        assert_sessions_identical(twin, restored)
+        restored.storage.close()
+
+    def test_async_equals_sync_after_a_crash(self, tmp_path):
+        """The robustness headline, end to end: crash + restore + faults
+        still land on the synchronous baseline's matches and posteriors."""
+        dataset = make_dataset()
+        records = list(dataset.store)
+        sync = StreamingResolver(config=make_config())
+        sync.add_truth(dataset.ground_truth)
+        for start in range(0, len(records), 10):
+            sync.add_batch(records[start : start + 10])
+        sync.flush()
+
+        config = make_config(
+            storage_backend="sqlite", checkpoint_dir=str(tmp_path), **self.ASYNC
+        )
+        resolver = StreamingResolver(config=config)
+        resolver.add_truth(dataset.ground_truth)
+        for start in range(0, 20, 10):
+            resolver.add_batch(records[start : start + 10])
+        resolver.storage.rollback()
+        resolver.storage.close()
+        restored = StreamingResolver.restore(str(tmp_path))
+        for start in range(20, len(records), 10):
+            restored.add_batch(records[start : start + 10])
+        restored.flush()
+        snap_sync, snap_async = sync.snapshot(), restored.snapshot()
+        assert snap_async.matches == snap_sync.matches
+        assert snap_async.posteriors == snap_sync.posteriors
+        assert snap_async.hit_count == snap_sync.hit_count
+        restored.storage.close()
+
+    @settings(
+        max_examples=3,
+        deadline=None,
+        suppress_health_check=[
+            HealthCheck.too_slow,
+            HealthCheck.function_scoped_fixture,
+        ],
+    )
+    @given(
+        data=st.data(),
+        schedule=event_schedules(min_size=2, max_size=5),
+    )
+    def test_property_async_crash_schedules_converge(
+        self, tmp_path_factory, data, schedule
+    ):
+        """Random schedules (batches, retractions, updates, flushes) with a
+        crash at a random point: the restored async session must end
+        bit-identical to an uninterrupted async twin."""
+        dataset = make_dataset(record_count=40, duplicate_pairs=8, seed=47)
+        records = list(dataset.store)
+        mem = StreamingResolver(config=make_config(**self.ASYNC))
+        mem.add_truth(dataset.ground_truth)
+        drive(mem, records, schedule)
+        mem.flush()
+
+        directory = tmp_path_factory.mktemp("asyncsession")
+        config = make_config(
+            storage_backend="sqlite",
+            checkpoint_dir=str(directory),
+            checkpoint_every_batches=0,
+            **self.ASYNC,
+        )
+        sql = StreamingResolver(config=config)
+        sql.add_truth(dataset.ground_truth)
+        crash_at = data.draw(
+            st.integers(min_value=0, max_value=len(schedule)), label="crash_at"
+        )
+        cursor = drive(sql, records, schedule[:crash_at])
+        sql.storage.rollback()
+        sql.storage.close()
+        sql = StreamingResolver.restore(str(directory))
+        drive(sql, records, schedule[crash_at:], cursor=cursor)
+        sql.flush()
+        assert_sessions_identical(mem, sql)
+        sql.storage.close()
+
+
 # ------------------------------------------------- columnar HIT generation
 class TestColumnarPairGeneration:
     def test_to_arrays_densifies_missing_likelihoods(self):
