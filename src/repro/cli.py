@@ -24,6 +24,12 @@ Three subcommands expose the most common workflows without writing Python:
   blast radius of each.
 * ``stats`` — render a per-session cost report (HITs, votes, machine vs.
   crowd time split) from a SQLite session store or a JSONL trace file.
+* ``serve`` — run the resolution service: an asyncio HTTP server hosting
+  many concurrent streaming sessions, each owned by one shard (ordered
+  per-shard work queues; independent sessions run concurrently) with the
+  machine pass on the reused process pool.  ``--metrics`` enables the
+  in-process registry and the ``/metrics`` Prometheus scrape endpoint.
+  See ``docs/service.md``.
 
 ``resolve`` and ``resolve-stream`` accept ``--metrics`` (enable the
 in-process metrics registry), ``--trace PATH`` (JSONL span/counter trace)
@@ -55,6 +61,7 @@ Examples::
         --fault-plan faults.json --metrics
     python -m repro.cli stats --checkpoint-dir /tmp/er-session
     python -m repro.cli stats --trace /tmp/er-session/trace.jsonl --json
+    python -m repro.cli serve --port 8722 --shards 4 --metrics
 """
 
 from __future__ import annotations
@@ -84,6 +91,7 @@ from repro.hit.generator import available_generators, get_cluster_generator
 from repro.obs.report import CostReport
 from repro.simjoin.backend import AUTO_BACKEND, available_backends
 from repro.simjoin.likelihood import SimJoinLikelihood
+from repro.simjoin.pool import DEFAULT_POOL_MODE, POOL_MODES
 from repro.storage import STORE_FILENAME
 from repro.streaming import StreamingResolver
 
@@ -158,6 +166,14 @@ def _add_backend_argument(parser: argparse.ArgumentParser) -> None:
         help="worker processes for the sharded 'parallel' join backend "
              "(0 = one per CPU core; results are identical for any value)",
     )
+    parser.add_argument(
+        "--join-pool",
+        choices=POOL_MODES,
+        default=DEFAULT_POOL_MODE,
+        help="pool strategy of the 'parallel' backend: reused (long-lived "
+             "shared pool + shared-memory index) or fork (fresh pool per "
+             "join call; results are identical either way)",
+    )
 
 
 def load_dataset(name: str, scale: float, seed: int) -> Dataset:
@@ -205,7 +221,8 @@ def _cmd_threshold_table(args: argparse.Namespace) -> int:
 def _cmd_generate_hits(args: argparse.Namespace) -> int:
     dataset = load_dataset(args.dataset, args.scale, args.seed)
     pairs = SimJoinLikelihood(
-        backend=args.join_backend, workers=args.join_workers or None
+        backend=args.join_backend, workers=args.join_workers or None,
+        pool_mode=args.join_pool,
     ).estimate(
         dataset.store, min_likelihood=args.threshold, cross_sources=dataset.cross_sources
     )
@@ -250,6 +267,7 @@ def _cmd_resolve(args: argparse.Namespace) -> int:
         use_qualification_test=args.qualification_test,
         join_backend=args.join_backend,
         join_workers=args.join_workers,
+        join_pool=args.join_pool,
         metrics_enabled=args.metrics or bool(args.metrics_out),
         trace_path=args.trace,
         seed=args.seed,
@@ -367,6 +385,7 @@ def _cmd_resolve_stream(args: argparse.Namespace) -> int:
             pairs_per_hit=args.pairs_per_hit,
             join_backend=args.join_backend,
             join_workers=args.join_workers,
+            join_pool=args.join_pool,
             vote_mode="per-pair",
             stream_batch_size=args.batch_size,
             recrowd_policy=args.recrowd_policy,
@@ -510,6 +529,26 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Run the resolution service until SIGINT/SIGTERM."""
+    from repro.service.app import run_service
+
+    if args.metrics or args.metrics_out or args.trace:
+        obs.activate(trace_path=args.trace)
+    try:
+        run_service(
+            host=args.host,
+            port=args.port,
+            shard_count=args.shards,
+            queue_depth=args.queue_depth,
+            port_file=args.port_file,
+        )
+    finally:
+        _write_metrics_out(args.metrics_out)
+        obs.deactivate()
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Build the top-level argument parser."""
     parser = argparse.ArgumentParser(
@@ -632,6 +671,27 @@ def build_parser() -> argparse.ArgumentParser:
     stats.add_argument("--json", action="store_true",
                        help="emit the report as JSON instead of text")
     stats.set_defaults(handler=_cmd_stats)
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="run the resolution service (asyncio HTTP server hosting "
+             "concurrent streaming sessions on sharded workers)",
+    )
+    serve.add_argument("--host", type=str, default="127.0.0.1",
+                       help="interface to bind")
+    serve.add_argument("--port", type=int, default=8722,
+                       help="TCP port (0 = pick an ephemeral port)")
+    serve.add_argument("--shards", type=int, default=4,
+                       help="session shards; each shard serializes its "
+                            "sessions' requests on one dedicated thread")
+    serve.add_argument("--port-file", type=str, default=None,
+                       help="write the bound port to this file once listening "
+                            "(pairs with --port 0 for scripted clients)")
+    serve.add_argument("--queue-depth", type=int, default=64,
+                       help="per-shard request queue depth; a full queue "
+                            "answers 429 with Retry-After")
+    _add_obs_arguments(serve)
+    serve.set_defaults(handler=_cmd_serve)
     return parser
 
 

@@ -1,0 +1,46 @@
+"""Resolution-as-a-service: an asyncio HTTP front-end for streaming sessions.
+
+The engine is a library; this package makes it a long-lived server process
+hosting many concurrent :class:`~repro.streaming.StreamingResolver`
+sessions behind a small HTTP/1.1 API (stdlib ``asyncio`` only — no new
+dependencies).
+
+Architecture — see ``docs/service.md`` for the full picture:
+
+* :class:`~repro.service.app.ResolutionService` owns the HTTP listener, the
+  route table, and the lifecycle (start / graceful stop).
+* :class:`~repro.service.shards.ShardExecutor` gives every session exactly
+  one owner: sessions are routed to a shard by a CRC32 hash of their
+  routing key, and each shard executes its work on one dedicated thread
+  through an **ordered queue** — requests against one session serialize
+  (preserving the journal/storage guarantees, including SQLite thread
+  affinity), while sessions on different shards run concurrently.  A full
+  queue answers ``429`` with ``Retry-After`` instead of buffering without
+  bound.
+* :class:`~repro.service.sessions.SessionManager` maps the HTTP lifecycle
+  (create / append / retract / update / flush / status / save / restore /
+  close) onto resolver calls and JSON payloads.
+* :class:`~repro.service.client.ServiceClient` is the matching blocking
+  client (stdlib ``http.client``) used by the tests, the benchmark and CI.
+
+The machine pass of every hosted session runs on the **reused** process
+pool (:mod:`repro.simjoin.pool`) by default, so streaming batches stop
+paying fork-per-batch and per-worker index serialization; graceful
+shutdown drains the shard queues, ``save()``\\ s every durable session and
+tears the pools down.
+"""
+
+from repro.service.app import ResolutionService
+from repro.service.client import ServiceClient, ServiceClientError
+from repro.service.errors import ServiceError
+from repro.service.sessions import SessionManager
+from repro.service.shards import ShardExecutor
+
+__all__ = [
+    "ResolutionService",
+    "ServiceClient",
+    "ServiceClientError",
+    "ServiceError",
+    "SessionManager",
+    "ShardExecutor",
+]

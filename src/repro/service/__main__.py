@@ -1,0 +1,12 @@
+"""``python -m repro.service`` — run the resolution server standalone.
+
+Equivalent to ``repro serve``; see :mod:`repro.cli` for the argument
+surface and ``docs/service.md`` for deployment guidance.
+"""
+
+import sys
+
+from repro.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main(["serve", *sys.argv[1:]]))

@@ -1,0 +1,83 @@
+"""Typed service errors mapping onto HTTP status codes and JSON bodies.
+
+Every error response the service emits has the same shape::
+
+    {"error": {"code": "<machine-readable-code>", "message": "<detail>"}}
+
+and the regression tests in ``tests/test_service.py`` pin both the status
+code and the ``code`` string of every path, so changing either is a
+breaking API change.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+
+class ServiceError(Exception):
+    """An error with a defined HTTP mapping.
+
+    Handlers raise these; the dispatcher turns them into JSON error
+    responses.  Anything else escaping a handler becomes a 500.
+    """
+
+    def __init__(
+        self,
+        status: int,
+        code: str,
+        message: str,
+        retry_after: Optional[int] = None,
+    ) -> None:
+        super().__init__(message)
+        self.status = status
+        self.code = code
+        self.message = message
+        #: Seconds for the ``Retry-After`` header (backpressure responses).
+        self.retry_after = retry_after
+
+    def body(self) -> Dict[str, object]:
+        return {"error": {"code": self.code, "message": self.message}}
+
+
+def bad_request(message: str) -> ServiceError:
+    """400 — malformed JSON, invalid config, missing required fields."""
+    return ServiceError(400, "bad_request", message)
+
+
+def not_found(message: str = "no such route") -> ServiceError:
+    """404 — unknown route."""
+    return ServiceError(404, "not_found", message)
+
+
+def unknown_session(session_id: str) -> ServiceError:
+    """404 — the session id is not (and never was) hosted here."""
+    return ServiceError(404, "unknown_session", f"unknown session {session_id!r}")
+
+
+def session_closed(session_id: str) -> ServiceError:
+    """409 — the session was closed; only status remains readable."""
+    return ServiceError(
+        409, "session_closed", f"session {session_id!r} is closed"
+    )
+
+
+def session_exists(session_id: str) -> ServiceError:
+    """409 — create with an id that is already hosted."""
+    return ServiceError(
+        409, "session_exists", f"session {session_id!r} already exists"
+    )
+
+
+def resume_conflict(session_id: str, message: str) -> ServiceError:
+    """409 — restore cannot proceed (already open, or no durable state)."""
+    return ServiceError(409, "resume_conflict", f"session {session_id!r}: {message}")
+
+
+def backpressure(shard: int, retry_after: int) -> ServiceError:
+    """429 — the owning shard's queue is full; retry after a beat."""
+    return ServiceError(
+        429,
+        "backpressure",
+        f"shard {shard} queue is full; retry after {retry_after}s",
+        retry_after=retry_after,
+    )

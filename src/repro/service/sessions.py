@@ -1,0 +1,340 @@
+"""Session lifecycle behind the HTTP API: create, mutate, save, restore.
+
+A hosted session is one :class:`~repro.streaming.StreamingResolver` pinned
+to one shard (see :mod:`repro.service.shards`).  The manager owns the
+``session_id -> handle`` registry — mutated only on the event-loop thread —
+while every resolver call (including construction, restore and close: the
+SQLite store and journal are thread-affine) runs on the owning shard's
+thread through the executor.
+
+Wire format: records travel as the journal's JSON encoding
+(``{"record_id", "attributes", "source"}``), pair keys as two-element
+arrays, posteriors as sorted ``[id_a, id_b, posterior]`` triples.  Floats
+round-trip through JSON exactly (shortest-repr float64), so a client can
+assert **bit-identity** between a served session and a standalone resolver
+replaying the same events — the concurrency property tests do.
+"""
+
+from __future__ import annotations
+
+import uuid
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.config import WorkflowConfig
+from repro.core.results import ResolutionResult
+from repro.records.record import Record, RecordError
+from repro.service.errors import (
+    bad_request,
+    resume_conflict,
+    session_closed,
+    session_exists,
+    unknown_session,
+)
+from repro.service.shards import ShardExecutor
+from repro.streaming import StreamingResolver
+from repro.streaming.persistence import PersistenceError, decode_record
+
+
+def encode_result(result: ResolutionResult) -> Dict[str, object]:
+    """JSON payload of a resolution snapshot (deterministically ordered)."""
+    return {
+        "matches": sorted([list(key) for key in result.matches]),
+        "posteriors": sorted(
+            [[key[0], key[1], value] for key, value in result.posteriors.items()]
+        ),
+        "candidate_count": result.candidate_count,
+        "hit_count": result.hit_count,
+        "assignment_count": result.assignment_count,
+        "cost": result.cost,
+        "recall_ceiling": result.recall_ceiling,
+    }
+
+
+def _parse_records(payload: object) -> List[Record]:
+    if not isinstance(payload, list):
+        raise bad_request("'records' must be an array of record objects")
+    records = []
+    for entry in payload:
+        if not isinstance(entry, dict) or "record_id" not in entry:
+            raise bad_request(f"record entry without a record_id: {entry!r}")
+        try:
+            records.append(
+                decode_record(
+                    {
+                        "record_id": entry["record_id"],
+                        "attributes": entry.get("attributes", {}),
+                        "source": entry.get("source"),
+                    }
+                )
+            )
+        except (TypeError, ValueError, RecordError) as error:
+            raise bad_request(f"invalid record: {error}") from None
+    return records
+
+
+def _parse_truth(payload: object) -> List[Tuple[str, str]]:
+    if not isinstance(payload, list):
+        raise bad_request("'truth' must be an array of [id_a, id_b] pairs")
+    pairs = []
+    for entry in payload:
+        if not isinstance(entry, (list, tuple)) or len(entry) != 2:
+            raise bad_request(f"invalid truth pair: {entry!r}")
+        pairs.append((str(entry[0]), str(entry[1])))
+    return pairs
+
+
+class SessionHandle:
+    """Registry entry of one hosted session."""
+
+    def __init__(self, session_id: str, shard: int) -> None:
+        self.session_id = session_id
+        self.shard = shard
+        self.resolver: Optional[StreamingResolver] = None
+        self.closed = False
+        #: Final status captured at close time (status stays readable).
+        self.final_status: Optional[Dict[str, object]] = None
+
+    @property
+    def durable(self) -> bool:
+        resolver = self.resolver
+        if resolver is None:
+            return False
+        return bool(resolver.config.checkpoint_dir) or resolver.storage.persistent
+
+
+class SessionManager:
+    """The ``session_id -> resolver`` registry and its lifecycle operations.
+
+    All public coroutines are called from the event loop; registry
+    mutations happen there (single-threaded, so no lock), resolver work is
+    shipped to the owning shard.
+    """
+
+    def __init__(self, shards: ShardExecutor) -> None:
+        self.shards = shards
+        self.sessions: Dict[str, SessionHandle] = {}
+
+    # ------------------------------------------------------------- helpers
+    def _handle(self, session_id: str, allow_closed: bool = False) -> SessionHandle:
+        handle = self.sessions.get(session_id)
+        if handle is None:
+            raise unknown_session(session_id)
+        if handle.closed and not allow_closed:
+            raise session_closed(session_id)
+        return handle
+
+    def _status_payload(self, handle: SessionHandle) -> Dict[str, object]:
+        resolver = handle.resolver
+        assert resolver is not None
+        return {
+            "session_id": handle.session_id,
+            "shard": handle.shard,
+            "closed": handle.closed,
+            "records": resolver.record_count,
+            "candidates": resolver.candidate_count,
+            "events_applied": resolver.events_applied,
+            "durable": handle.durable,
+        }
+
+    # ----------------------------------------------------------- lifecycle
+    async def create(self, payload: dict) -> Dict[str, object]:
+        """Create a session from a ``WorkflowConfig`` JSON payload."""
+        if not isinstance(payload, dict):
+            raise bad_request("request body must be a JSON object")
+        session_id = payload.get("session_id") or uuid.uuid4().hex
+        if not isinstance(session_id, str):
+            raise bad_request("'session_id' must be a string")
+        config_payload = payload.get("config", {})
+        if not isinstance(config_payload, dict):
+            raise bad_request("'config' must be a WorkflowConfig JSON object")
+        try:
+            config = WorkflowConfig(
+                **{**config_payload, "vote_mode": "per-pair"}
+            )
+        except (TypeError, ValueError) as error:
+            raise bad_request(f"invalid config: {error}") from None
+        cross_sources = payload.get("cross_sources")
+        if cross_sources is not None:
+            if not isinstance(cross_sources, (list, tuple)) or len(cross_sources) != 2:
+                raise bad_request("'cross_sources' must be a two-element array")
+            cross_sources = tuple(cross_sources)
+        truth = _parse_truth(payload["truth"]) if "truth" in payload else None
+        if session_id in self.sessions:
+            raise session_exists(session_id)
+        shard = self.shards.shard_of(session_id)
+        handle = SessionHandle(session_id, shard)
+        # Reserve the id before yielding to the shard so concurrent creates
+        # of the same id conflict deterministically.
+        self.sessions[session_id] = handle
+
+        def build() -> StreamingResolver:
+            resolver = StreamingResolver(config=config, cross_sources=cross_sources)
+            if truth:
+                resolver.add_truth(truth)
+            return resolver
+
+        try:
+            handle.resolver = await self.shards.submit(session_id, build)
+        except PersistenceError as error:
+            del self.sessions[session_id]
+            raise resume_conflict(session_id, str(error)) from None
+        except Exception:
+            del self.sessions[session_id]
+            raise
+        return self._status_payload(handle)
+
+    async def restore(self, session_id: str, payload: dict) -> Dict[str, object]:
+        """Re-open a durable session from its checkpoint directory."""
+        if not isinstance(payload, dict):
+            raise bad_request("request body must be a JSON object")
+        checkpoint_dir = payload.get("checkpoint_dir")
+        if not checkpoint_dir or not isinstance(checkpoint_dir, str):
+            raise bad_request("'checkpoint_dir' is required to restore a session")
+        existing = self.sessions.get(session_id)
+        if existing is not None and not existing.closed:
+            raise resume_conflict(session_id, "session is already open")
+        shard = self.shards.shard_of(session_id)
+        handle = SessionHandle(session_id, shard)
+        self.sessions[session_id] = handle
+        try:
+            handle.resolver = await self.shards.submit(
+                session_id, StreamingResolver.restore, checkpoint_dir
+            )
+        except PersistenceError as error:
+            self.sessions.pop(session_id, None)
+            if existing is not None:
+                self.sessions[session_id] = existing
+            raise resume_conflict(session_id, str(error)) from None
+        except Exception:
+            self.sessions.pop(session_id, None)
+            if existing is not None:
+                self.sessions[session_id] = existing
+            raise
+        return self._status_payload(handle)
+
+    async def close(self, session_id: str) -> Dict[str, object]:
+        """Save (when durable) and close a session; status stays readable."""
+        handle = self._handle(session_id)
+        resolver = handle.resolver
+        durable = handle.durable
+
+        def finish() -> Dict[str, object]:
+            if durable:
+                resolver.save()
+            return {
+                "session_id": handle.session_id,
+                "shard": handle.shard,
+                "closed": True,
+                "records": resolver.record_count,
+                "candidates": resolver.candidate_count,
+                "events_applied": resolver.events_applied,
+                "durable": durable,
+            }
+
+        status = await self.shards.submit(session_id, finish)
+        handle.closed = True
+        handle.final_status = status
+        handle.resolver = None
+        return status
+
+    # ----------------------------------------------------------- mutations
+    async def append(self, session_id: str, payload: dict) -> Dict[str, object]:
+        """Append a record batch (optionally registering truth pairs first)."""
+        if not isinstance(payload, dict) or "records" not in payload:
+            raise bad_request("request body must be {'records': [...]}")
+        records = _parse_records(payload["records"])
+        truth = _parse_truth(payload["truth"]) if "truth" in payload else None
+        handle = self._handle(session_id)
+        resolver = handle.resolver
+
+        def run() -> ResolutionResult:
+            return resolver.add_batch(records, true_matches=truth)
+
+        result = await self._submit_resolver_call(session_id, run)
+        return encode_result(result)
+
+    async def retract(self, session_id: str, payload: dict) -> Dict[str, object]:
+        if not isinstance(payload, dict) or "record_id" not in payload:
+            raise bad_request("request body must be {'record_id': ...}")
+        record_id = payload["record_id"]
+        handle = self._handle(session_id)
+        resolver = handle.resolver
+        result = await self._submit_resolver_call(
+            session_id, lambda: resolver.retract(record_id)
+        )
+        return encode_result(result)
+
+    async def update(self, session_id: str, payload: dict) -> Dict[str, object]:
+        if not isinstance(payload, dict) or "record" not in payload:
+            raise bad_request("request body must be {'record': {...}}")
+        (record,) = _parse_records([payload["record"]])
+        handle = self._handle(session_id)
+        resolver = handle.resolver
+        result = await self._submit_resolver_call(
+            session_id, lambda: resolver.update(record)
+        )
+        return encode_result(result)
+
+    async def flush(self, session_id: str) -> Dict[str, object]:
+        handle = self._handle(session_id)
+        resolver = handle.resolver
+        result = await self._submit_resolver_call(session_id, resolver.flush)
+        return encode_result(result)
+
+    async def save(self, session_id: str) -> Dict[str, object]:
+        handle = self._handle(session_id)
+        resolver = handle.resolver
+
+        def run() -> Dict[str, object]:
+            path = resolver.save()
+            return {"session_id": session_id, "saved_to": str(path)}
+
+        return await self.shards.submit(session_id, run)
+
+    async def _submit_resolver_call(self, session_id: str, fn) -> ResolutionResult:
+        try:
+            return await self.shards.submit(session_id, fn)
+        except RecordError as error:
+            raise bad_request(str(error)) from None
+        except PersistenceError as error:
+            raise resume_conflict(session_id, str(error)) from None
+
+    # ------------------------------------------------------------- queries
+    async def status(self, session_id: str) -> Dict[str, object]:
+        handle = self._handle(session_id, allow_closed=True)
+        if handle.closed:
+            assert handle.final_status is not None
+            return handle.final_status
+        return await self.shards.submit(
+            session_id, self._status_payload, handle
+        )
+
+    async def result(self, session_id: str) -> Dict[str, object]:
+        handle = self._handle(session_id)
+        resolver = handle.resolver
+        result = await self.shards.submit(session_id, resolver.snapshot)
+        return encode_result(result)
+
+    def list_sessions(self) -> Dict[str, object]:
+        return {
+            "sessions": [
+                {
+                    "session_id": handle.session_id,
+                    "shard": handle.shard,
+                    "closed": handle.closed,
+                }
+                for handle in self.sessions.values()
+            ]
+        }
+
+    # ------------------------------------------------------------ shutdown
+    async def save_all(self) -> List[str]:
+        """Save every open durable session (graceful-shutdown hook)."""
+        saved = []
+        for handle in list(self.sessions.values()):
+            if handle.closed or not handle.durable:
+                continue
+            resolver = handle.resolver
+            await self.shards.submit(handle.session_id, resolver.save)
+            saved.append(handle.session_id)
+        return saved

@@ -1,0 +1,160 @@
+"""Sharded ordered execution: one owner thread per group of sessions.
+
+Why shards instead of a free thread pool: a streaming session is a stateful
+object with strict ordering requirements (journal sequence, SQLite
+connections bound to their creating thread), so every operation against a
+session must run (a) one at a time and (b) on the same thread for the
+session's whole life.  :class:`ShardExecutor` provides exactly that: each
+shard is an ordered ``asyncio.Queue`` feeding one dedicated worker thread,
+and a session is pinned to the shard its routing key hashes to —
+CRC32(key) mod shard count, so placement is stable across restarts of the
+same server configuration.
+
+Requests against sessions on the same shard serialize in arrival order;
+sessions on different shards run concurrently.  A full shard queue rejects
+new work immediately (the caller answers ``429 Retry-After``) instead of
+queueing without bound — latency honesty over buffering.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import zlib
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Callable, List, Optional
+
+from repro import obs
+from repro.service.errors import backpressure
+
+#: Sentinel telling a shard's pump loop to exit.
+_SHUTDOWN = object()
+
+#: Default seconds clients are told to wait after a 429.
+DEFAULT_RETRY_AFTER = 1
+
+
+def shard_of(routing_key: str, shard_count: int) -> int:
+    """Stable shard placement: CRC32 of the routing key, mod shard count."""
+    return zlib.crc32(routing_key.encode("utf-8")) % shard_count
+
+
+class _Shard:
+    """One ordered work queue + its dedicated executor thread."""
+
+    def __init__(self, index: int, queue_depth: int) -> None:
+        self.index = index
+        self.queue: asyncio.Queue = asyncio.Queue(maxsize=queue_depth)
+        # ONE thread: every session owned by this shard lives and dies on
+        # it (SQLite connections and journal handles are thread-affine).
+        self.executor = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix=f"repro-shard-{index}"
+        )
+        self.pump: Optional[asyncio.Task] = None
+
+    async def _run(self) -> None:
+        loop = asyncio.get_running_loop()
+        while True:
+            item = await self.queue.get()
+            try:
+                if item is _SHUTDOWN:
+                    return
+                fn, args, future = item
+                try:
+                    result = await loop.run_in_executor(self.executor, fn, *args)
+                except Exception as error:  # noqa: BLE001 - relayed to caller
+                    if not future.cancelled():
+                        future.set_exception(error)
+                else:
+                    if not future.cancelled():
+                        future.set_result(result)
+            finally:
+                self.queue.task_done()
+                if obs.enabled():
+                    obs.set_gauge(
+                        "service_queue_depth", self.queue.qsize(),
+                        shard=self.index,
+                        help="Queued requests per service shard.",
+                    )
+
+
+class ShardExecutor:
+    """Route work to per-shard ordered queues backed by dedicated threads.
+
+    ``submit`` returns an awaitable resolving to the callable's result (or
+    raising its exception).  Work for one routing key always runs on the
+    same thread, in submission order; a full queue raises the 429-mapped
+    :func:`~repro.service.errors.backpressure` error immediately.
+    """
+
+    def __init__(
+        self,
+        shard_count: int = 4,
+        queue_depth: int = 64,
+        retry_after: int = DEFAULT_RETRY_AFTER,
+    ) -> None:
+        if shard_count < 1:
+            raise ValueError("shard_count must be positive")
+        if queue_depth < 1:
+            raise ValueError("queue_depth must be positive")
+        self.shard_count = shard_count
+        self.queue_depth = queue_depth
+        self.retry_after = retry_after
+        self._shards: List[_Shard] = []
+        self._started = False
+
+    async def start(self) -> None:
+        """Create the shard queues and start their pump tasks."""
+        if self._started:
+            return
+        self._shards = [
+            _Shard(index, self.queue_depth) for index in range(self.shard_count)
+        ]
+        for shard in self._shards:
+            shard.pump = asyncio.create_task(shard._run())
+        self._started = True
+
+    def shard_of(self, routing_key: str) -> int:
+        """The shard index owning ``routing_key``."""
+        return shard_of(routing_key, self.shard_count)
+
+    async def submit(
+        self, routing_key: str, fn: Callable[..., Any], *args: Any
+    ) -> Any:
+        """Run ``fn(*args)`` on the owning shard's thread; await the result."""
+        if not self._started:
+            raise RuntimeError("ShardExecutor.start() has not been called")
+        shard = self._shards[self.shard_of(routing_key)]
+        future: asyncio.Future = asyncio.get_running_loop().create_future()
+        try:
+            shard.queue.put_nowait((fn, args, future))
+        except asyncio.QueueFull:
+            raise backpressure(shard.index, self.retry_after) from None
+        if obs.enabled():
+            obs.set_gauge(
+                "service_queue_depth", shard.queue.qsize(), shard=shard.index,
+                help="Queued requests per service shard.",
+            )
+        return await future
+
+    def queue_depths(self) -> List[int]:
+        """Current queue depth per shard (observability/status)."""
+        return [shard.queue.qsize() for shard in self._shards]
+
+    async def drain(self) -> None:
+        """Wait until every queued request has completed."""
+        for shard in self._shards:
+            await shard.queue.join()
+
+    async def shutdown(self) -> None:
+        """Drain, stop the pump tasks and release the worker threads."""
+        if not self._started:
+            return
+        await self.drain()
+        for shard in self._shards:
+            await shard.queue.put(_SHUTDOWN)
+        for shard in self._shards:
+            if shard.pump is not None:
+                await shard.pump
+        for shard in self._shards:
+            shard.executor.shutdown(wait=True)
+        self._started = False

@@ -126,12 +126,17 @@ class ParallelJoinBackend(SimJoinBackend):
 
     ``workers=None`` (the default) resolves to one worker per CPU core at
     join time; ``resolve_backend(..., workers=N)`` overrides it.
+    ``pool_mode`` selects the reused shared pool (default) or the legacy
+    fork-per-call pool — results are bit-identical either way.
     """
 
     name = "parallel"
 
-    def __init__(self, workers: Optional[int] = None) -> None:
+    def __init__(
+        self, workers: Optional[int] = None, pool_mode: Optional[str] = None
+    ) -> None:
         self.workers = workers
+        self.pool_mode = pool_mode
 
     def join(
         self,
@@ -141,7 +146,8 @@ class ParallelJoinBackend(SimJoinBackend):
         cross_sources: Optional[Tuple[str, str]] = None,
     ) -> PairSet:
         join = ParallelSimJoin(
-            threshold=threshold, attributes=attributes, workers=self.workers
+            threshold=threshold, attributes=attributes, workers=self.workers,
+            pool_mode=self.pool_mode,
         )
         return join.join(store, cross_sources=cross_sources)
 
@@ -201,18 +207,23 @@ def resolve_backend(
     record_count: int = 0,
     threshold: float = 0.0,
     workers: Optional[int] = None,
+    pool_mode: Optional[str] = None,
 ) -> SimJoinBackend:
     """Return the backend for ``name``, applying the auto heuristic.
 
     ``workers`` feeds both the auto heuristic and, for backends that take a
     worker count (the parallel engine or registered custom backends with a
-    ``workers`` attribute), the engine configuration.
+    ``workers`` attribute), the engine configuration.  ``pool_mode`` is
+    forwarded the same way to backends that expose one (the parallel
+    engine's reused-vs-fork pool selection).
     """
     if name == AUTO_BACKEND:
         name = auto_backend_name(record_count, threshold, workers)
     engine = get_backend(name)
     if workers is not None and hasattr(engine, "workers"):
         engine.workers = workers
+    if pool_mode is not None and hasattr(engine, "pool_mode"):
+        engine.pool_mode = pool_mode
     return engine
 
 

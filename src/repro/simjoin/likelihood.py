@@ -57,12 +57,17 @@ class SimJoinLikelihood(LikelihoodEstimator):
         Worker-process count for the sharded ``parallel`` backend (and the
         auto heuristic that may select it).  ``None`` = one per CPU core;
         irrelevant to the serial backends.
+    pool_mode:
+        Pool strategy for the ``parallel`` backend: ``None`` = the process
+        default (``"reused"``, the long-lived shared pool), ``"fork"`` =
+        the legacy fork-per-call pool.  Irrelevant to the serial backends.
     """
 
     attributes: Optional[Sequence[str]] = None
     use_prefix_filter: bool = True
     backend: str = AUTO_BACKEND
     workers: Optional[int] = None
+    pool_mode: Optional[str] = None
     name: str = "simjoin"
 
     def estimate(
@@ -79,6 +84,7 @@ class SimJoinLikelihood(LikelihoodEstimator):
             record_count=len(store),
             threshold=min_likelihood,
             workers=self.workers,
+            pool_mode=self.pool_mode,
         )
         resolved = type(engine).__name__
         with obs.span("simjoin.estimate", backend=resolved, records=len(store)):

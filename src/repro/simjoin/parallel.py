@@ -26,6 +26,16 @@ stores are faster on the serial engine; the ``auto`` heuristic in
 :mod:`repro.simjoin.backend` only picks ``parallel`` above
 ``AUTO_PARALLEL_MIN_RECORDS`` and with more than one effective worker.
 
+**Pool modes.**  Under the default ``pool_mode="reused"`` shards run on a
+long-lived process pool (:func:`repro.simjoin.pool.shared_pool`) that
+survives across calls — and therefore across streaming batches — with the
+index published once per call into a shared-memory block every worker maps
+zero-copy (:class:`repro.simjoin.pool.SharedArrayBlock`), instead of being
+pickled to each worker.  ``pool_mode="fork"`` keeps the legacy
+fork-per-call pool with per-worker initializer payloads; both modes run
+the identical per-block code, so results are bit-identical — the reuse
+speedup is gated by ``benchmarks/bench_service.py``.
+
 :func:`score_new_vs_old_block` and :func:`parallel_new_vs_old_blocks` expose
 the same machinery for the streaming engine's per-batch new-vs-old product
 (:class:`repro.streaming.incremental_join.IncrementalSimJoin`).
@@ -44,6 +54,12 @@ import numpy as np
 from repro import obs
 from repro.records.pairs import PairSet
 from repro.records.record import RecordStore
+from repro.simjoin.pool import (
+    SharedArrayBlock,
+    attach_block,
+    resolve_pool_mode,
+    shared_pool,
+)
 from repro.simjoin.vectorized import HAVE_SCIPY, VectorizedSimJoin, _BlockPairs
 
 if HAVE_SCIPY:
@@ -144,13 +160,12 @@ def _init_self_shard(payload: dict) -> None:
     )
 
 
-def _self_shard(bounds: Tuple[int, int]) -> Tuple[_BlockPairs, float, int]:
+def _run_self_shard(state: dict, bounds: Tuple[int, int]) -> Tuple[_BlockPairs, float, int]:
     # Shard timing is measured inside the worker (the forked copy of the
     # obs runtime is inert, so a plain perf_counter pair travels back with
     # the result and the parent records it).
     started = time.perf_counter()
     start, stop = bounds
-    state = _SHARD_STATE
     blocks = _concat_blocks(
         list(
             state["join"]._self_range_blocks(
@@ -160,6 +175,10 @@ def _self_shard(bounds: Tuple[int, int]) -> Tuple[_BlockPairs, float, int]:
         )
     )
     return blocks, time.perf_counter() - started, os.getpid()
+
+
+def _self_shard(bounds: Tuple[int, int]) -> Tuple[_BlockPairs, float, int]:
+    return _run_self_shard(_SHARD_STATE, bounds)
 
 
 def _init_bipartite_shard(payload: dict) -> None:
@@ -180,10 +199,9 @@ def _init_bipartite_shard(payload: dict) -> None:
     )
 
 
-def _bipartite_shard(bounds: Tuple[int, int]) -> Tuple[_BlockPairs, float, int]:
+def _run_bipartite_shard(state: dict, bounds: Tuple[int, int]) -> Tuple[_BlockPairs, float, int]:
     started = time.perf_counter()
     start, stop = bounds
-    state = _SHARD_STATE
     blocks = _concat_blocks(
         list(
             state["join"]._bipartite_range_blocks(
@@ -195,6 +213,10 @@ def _bipartite_shard(bounds: Tuple[int, int]) -> Tuple[_BlockPairs, float, int]:
         )
     )
     return blocks, time.perf_counter() - started, os.getpid()
+
+
+def _bipartite_shard(bounds: Tuple[int, int]) -> Tuple[_BlockPairs, float, int]:
+    return _run_bipartite_shard(_SHARD_STATE, bounds)
 
 
 def _init_new_vs_old(payload: dict) -> None:
@@ -210,10 +232,9 @@ def _init_new_vs_old(payload: dict) -> None:
     )
 
 
-def _new_vs_old_shard(bounds: Tuple[int, int]) -> Tuple[_BlockPairs, float, int]:
+def _run_new_vs_old_shard(state: dict, bounds: Tuple[int, int]) -> Tuple[_BlockPairs, float, int]:
     started = time.perf_counter()
     start, stop = bounds
-    state = _SHARD_STATE
     parts = [
         score_new_vs_old_block(
             state["new_matrix"], state["old_t"],
@@ -224,6 +245,10 @@ def _new_vs_old_shard(bounds: Tuple[int, int]) -> Tuple[_BlockPairs, float, int]
         for block_start in range(start, stop, state["block_size"])
     ]
     return _concat_blocks(parts), time.perf_counter() - started, os.getpid()
+
+
+def _new_vs_old_shard(bounds: Tuple[int, int]) -> Tuple[_BlockPairs, float, int]:
+    return _run_new_vs_old_shard(_SHARD_STATE, bounds)
 
 
 def score_new_vs_old_block(
@@ -251,24 +276,173 @@ def score_new_vs_old_block(
     return rows[passing], cols[passing], values[passing]
 
 
-def _map_shards(initializer, payload: dict, worker, bounds, workers: int, kind: str = ""):
+# ------------------------------------------------- reused-pool shard path
+# The legacy path ships each kind's payload through the pool initializer
+# (pickled once per worker, per call).  The reused path publishes the
+# arrays once into a shared-memory block and sends only the tiny
+# descriptor + scalars with each task; workers attach zero-copy and cache
+# the derived state (csr matrices, transposes) per block token.
+
+#: Payload keys holding CSR triples, per kind: payload key -> array prefix.
+_CSR_KEYS = {
+    "self": {"sub": "sub"},
+    "bipartite": {"left": "left", "right": "right"},
+    "new_vs_old": {"new": "new", "old": "old"},
+}
+
+#: Payload keys holding plain arrays, per kind.
+_ARRAY_KEYS = {
+    "self": ("sub_sizes", "keep"),
+    "bipartite": ("left_sizes", "right_sizes", "left_index", "right_index"),
+    "new_vs_old": ("new_sizes", "old_sizes"),
+}
+
+#: Payload keys holding scalars, per kind (travel with every task).
+_SCALAR_KEYS = {
+    "self": ("threshold", "measure", "block_size"),
+    "bipartite": ("threshold", "measure", "block_size"),
+    "new_vs_old": ("threshold", "block_size"),
+}
+
+
+def _publish_payload(kind: str, payload: dict) -> Tuple[SharedArrayBlock, dict]:
+    """Split a legacy initializer payload into (shared block, scalar params)."""
+    arrays: dict = {}
+    params = {name: payload[name] for name in _SCALAR_KEYS[kind]}
+    for key, prefix in _CSR_KEYS[kind].items():
+        data, indices, indptr, shape = payload[key]
+        arrays[f"{prefix}_data"] = data
+        arrays[f"{prefix}_indices"] = indices
+        arrays[f"{prefix}_indptr"] = indptr
+        params[f"{prefix}_shape"] = tuple(shape)
+    for name in _ARRAY_KEYS[kind]:
+        arrays[name] = np.asarray(payload[name])
+    return SharedArrayBlock.create(arrays), params
+
+
+def _attached_csr(arrays: dict, params: dict, prefix: str) -> "sparse.csr_matrix":
+    return sparse.csr_matrix(
+        (
+            arrays[f"{prefix}_data"],
+            arrays[f"{prefix}_indices"],
+            arrays[f"{prefix}_indptr"],
+        ),
+        shape=params[f"{prefix}_shape"],
+    )
+
+
+def _build_pooled_state(kind: str, descriptor: dict, params: dict) -> dict:
+    """Reconstruct the shard state a legacy initializer would have built."""
+    arrays = attach_block(descriptor)
+    if kind == "self":
+        sub = _attached_csr(arrays, params, "sub")
+        return dict(
+            join=VectorizedSimJoin(
+                threshold=params["threshold"],
+                measure=params["measure"],
+                block_size=params["block_size"],
+            ),
+            sub=sub,
+            sub_t=sub.T.tocsr(),
+            sub_sizes=arrays["sub_sizes"],
+            keep=arrays["keep"],
+        )
+    if kind == "bipartite":
+        return dict(
+            join=VectorizedSimJoin(
+                threshold=params["threshold"],
+                measure=params["measure"],
+                block_size=params["block_size"],
+            ),
+            left_matrix=_attached_csr(arrays, params, "left"),
+            right_t=_attached_csr(arrays, params, "right").T.tocsr(),
+            left_sizes=arrays["left_sizes"],
+            right_sizes=arrays["right_sizes"],
+            left_index=arrays["left_index"],
+            right_index=arrays["right_index"],
+        )
+    if kind == "new_vs_old":
+        return dict(
+            new_matrix=_attached_csr(arrays, params, "new"),
+            old_t=_attached_csr(arrays, params, "old").T.tocsr(),
+            new_sizes=arrays["new_sizes"],
+            old_sizes=arrays["old_sizes"],
+            threshold=params["threshold"],
+            block_size=params["block_size"],
+        )
+    raise ValueError(f"unknown pooled shard kind {kind!r}")
+
+
+_RUNNERS = {
+    "self": _run_self_shard,
+    "bipartite": _run_bipartite_shard,
+    "new_vs_old": _run_new_vs_old_shard,
+}
+
+# Worker-side derived-state cache, keyed by block token (one kind per
+# block).  Insertion-ordered; bounded like the attachment cache.
+_POOLED_STATE: dict = {}
+
+
+def _pooled_shard(task) -> Tuple[_BlockPairs, float, int]:
+    """One shard task on the reused pool: attach, build-or-reuse state, run."""
+    kind, descriptor, params, bounds = task
+    token = descriptor["token"]
+    state = _POOLED_STATE.get(token)
+    if state is None:
+        while len(_POOLED_STATE) >= 4:
+            _POOLED_STATE.pop(next(iter(_POOLED_STATE)))
+        state = _build_pooled_state(kind, descriptor, params)
+        _POOLED_STATE[token] = state
+    return _RUNNERS[kind](state, bounds)
+
+
+def _map_shards(
+    initializer,
+    payload: dict,
+    worker,
+    bounds,
+    workers: int,
+    kind: str = "",
+    pool_mode: Optional[str] = None,
+):
     """Run shard tasks over a pool; results come back in shard order.
+
+    ``pool_mode="reused"`` (the resolved default) executes on the
+    long-lived shared pool with the index in shared memory;
+    ``pool_mode="fork"`` forks a fresh pool and ships the payload through
+    its initializer (the legacy baseline).  Both run the identical
+    per-block code, so the outcome blocks are bit-identical.
 
     Each worker reports its shard's compute seconds and PID alongside the
     pair blocks; the parent folds those per-worker timings into the obs
     registry (workers cannot — their forked runtime copy is inert).
     """
+    mode = resolve_pool_mode(pool_mode)
     processes = min(workers, len(bounds))
-    context = _fork_context()
     with obs.span(
-        "simjoin.parallel.map", kind=kind, shards=len(bounds), workers=processes
+        "simjoin.parallel.map",
+        kind=kind, shards=len(bounds), workers=processes, pool=mode,
     ):
-        with context.Pool(
-            processes=processes, initializer=initializer, initargs=(payload,)
-        ) as pool:
-            # chunksize=1: shards are coarse already, and dynamic hand-out
-            # balances the self-join triangle skew across workers.
-            outcomes = pool.map(worker, bounds, chunksize=1)
+        if mode == "reused":
+            pool = shared_pool(workers)
+            block, params = _publish_payload(kind, payload)
+            try:
+                outcomes = pool.map(
+                    _pooled_shard,
+                    [(kind, block.descriptor, params, b) for b in bounds],
+                )
+            finally:
+                # Workers keep their mappings; the file can go right away.
+                block.unlink()
+        else:
+            context = _fork_context()
+            with context.Pool(
+                processes=processes, initializer=initializer, initargs=(payload,)
+            ) as fork_pool:
+                # chunksize=1: shards are coarse already, and dynamic
+                # hand-out balances the self-join triangle skew.
+                outcomes = fork_pool.map(worker, bounds, chunksize=1)
     if obs.enabled():
         for blocks, seconds, pid in outcomes:
             obs.inc("simjoin_parallel_shards_total", 1, kind=kind,
@@ -287,6 +461,7 @@ def parallel_new_vs_old_blocks(
     threshold: float,
     workers: int,
     block_size: int,
+    pool_mode: Optional[str] = None,
 ) -> Iterator[_BlockPairs]:
     """Shard the streaming new-vs-old product across worker processes.
 
@@ -306,7 +481,7 @@ def parallel_new_vs_old_blocks(
     )
     yield from _map_shards(
         _init_new_vs_old, payload, _new_vs_old_shard, bounds, workers,
-        kind="new_vs_old",
+        kind="new_vs_old", pool_mode=pool_mode,
     )
 
 
@@ -321,6 +496,10 @@ class ParallelSimJoin(VectorizedSimJoin):
         available CPU core; ``1`` degenerates to the serial engine (no pool
         is created).  Any value is legal — more workers than shards simply
         leaves the extra workers idle.
+    pool_mode:
+        ``"reused"`` (default) runs shards on the long-lived shared pool
+        with the index in shared memory; ``"fork"`` forks a fresh pool per
+        call (legacy baseline).  Results are bit-identical either way.
     """
 
     def __init__(
@@ -330,6 +509,7 @@ class ParallelSimJoin(VectorizedSimJoin):
         measure: str = "jaccard",
         block_size: int = 1024,
         workers: Optional[int] = None,
+        pool_mode: Optional[str] = None,
     ) -> None:
         super().__init__(
             threshold=threshold,
@@ -340,6 +520,7 @@ class ParallelSimJoin(VectorizedSimJoin):
         if workers is not None and workers < 0:
             raise ValueError("workers must be non-negative (0/None = auto)")
         self.workers = workers
+        self.pool_mode = resolve_pool_mode(pool_mode)
 
     def effective_workers(self) -> int:
         """The concrete worker count (resolving the ``None``/``0`` default)."""
@@ -372,7 +553,7 @@ class ParallelSimJoin(VectorizedSimJoin):
                 )
                 yield from _map_shards(
                     _init_bipartite_shard, payload, _bipartite_shard, bounds,
-                    workers, kind="bipartite",
+                    workers, kind="bipartite", pool_mode=self.pool_mode,
                 )
         elif row_count >= 2:
             sub = matrix[first]
@@ -386,7 +567,7 @@ class ParallelSimJoin(VectorizedSimJoin):
             )
             yield from _map_shards(
                 _init_self_shard, payload, _self_shard, bounds, workers,
-                kind="self",
+                kind="self", pool_mode=self.pool_mode,
             )
         if self.threshold > 0.0:
             yield from self._empty_pair_blocks(sizes, plan)
@@ -399,9 +580,11 @@ def parallel_similarity_join(
     cross_sources: Optional[Tuple[str, str]] = None,
     measure: str = "jaccard",
     workers: Optional[int] = None,
+    pool_mode: Optional[str] = None,
 ) -> PairSet:
     """Functional convenience wrapper around :class:`ParallelSimJoin`."""
     join = ParallelSimJoin(
-        threshold=threshold, attributes=attributes, measure=measure, workers=workers
+        threshold=threshold, attributes=attributes, measure=measure,
+        workers=workers, pool_mode=pool_mode,
     )
     return join.join(store, cross_sources=cross_sources)

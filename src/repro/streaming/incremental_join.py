@@ -59,6 +59,7 @@ from repro.simjoin.parallel import (
     score_new_vs_old_block,
     shard_bounds,
 )
+from repro.simjoin.pool import resolve_pool_mode
 from repro.simjoin.vectorized import HAVE_SCIPY
 
 if HAVE_SCIPY:
@@ -92,6 +93,12 @@ class IncrementalSimJoin:
         = one per CPU core; sharding only engages when a batch spans more
         than one row block, so small appends never pay pool overhead.  Any
         value yields bit-identical deltas.
+    pool_mode:
+        How the sharded paths run: ``"reused"`` (default) executes on the
+        long-lived shared process pool with the index published into
+        shared memory — the mode that makes streaming batches cheap —
+        while ``"fork"`` forks a fresh pool per batch (legacy baseline).
+        Deltas are bit-identical either way.
     storage:
         Optional :class:`repro.storage.base.Store`.  With a *persistent*
         store the join runs in **offload mode**: per-record token sets are
@@ -127,6 +134,7 @@ class IncrementalSimJoin:
         cross_sources: Optional[Tuple[str, str]] = None,
         block_size: int = 1024,
         workers: Optional[int] = None,
+        pool_mode: Optional[str] = None,
         storage: Optional["Store"] = None,
     ) -> None:
         if not 0.0 <= threshold <= 1.0:
@@ -141,6 +149,7 @@ class IncrementalSimJoin:
         self.cross_sources = cross_sources
         self.block_size = block_size
         self.workers = workers
+        self.pool_mode = resolve_pool_mode(pool_mode)
         self._tokenizer = WhitespaceTokenizer()
         self._storage = storage
         self._offload = storage is not None and storage.persistent
@@ -391,6 +400,7 @@ class IncrementalSimJoin:
             record_count=len(store),
             threshold=self.threshold,
             workers=self.workers,
+            pool_mode=self.pool_mode,
         )
         pairs = engine.join(
             store,
@@ -540,6 +550,7 @@ class IncrementalSimJoin:
             blocks = parallel_new_vs_old_blocks(
                 new_matrix, old_matrix, new_sizes, old_sizes,
                 self.threshold, workers, self.block_size,
+                pool_mode=self.pool_mode,
             )
         else:
             old_t = old_matrix.T.tocsr()
@@ -649,6 +660,7 @@ class IncrementalSimJoin:
             "cross_sources": self.cross_sources,
             "block_size": self.block_size,
             "workers": self.workers,
+            "pool_mode": self.pool_mode,
             "record_ids": list(self._record_ids),
             "row_of": dict(self._row_of),
             "dead_rows": set(self._dead_rows),
@@ -691,6 +703,7 @@ class IncrementalSimJoin:
             ),
             block_size=state["block_size"],  # type: ignore[arg-type]
             workers=state["workers"],  # type: ignore[arg-type]
+            pool_mode=state.get("pool_mode"),  # type: ignore[arg-type]
             storage=storage,
         )
         instance._record_ids = list(state["record_ids"])  # type: ignore[arg-type]
@@ -732,6 +745,7 @@ class IncrementalSimJoin:
         cross_sources: Optional[Tuple[str, str]] = None,
         block_size: int = 1024,
         workers: Optional[int] = None,
+        pool_mode: Optional[str] = None,
     ) -> "IncrementalSimJoin":
         """Page the join substrate back in from a persistent store.
 
@@ -750,6 +764,7 @@ class IncrementalSimJoin:
             cross_sources=cross_sources,
             block_size=block_size,
             workers=workers,
+            pool_mode=pool_mode,
             storage=storage,
         )
         state = storage.load_join_state()

@@ -154,7 +154,9 @@ class StreamingResolver:
         Workflow configuration.  The streaming-specific knobs are
         ``recrowd_policy``, ``streaming_aggregation_scope``,
         ``staleness_epsilon`` and ``stream_batch_size``; ``join_workers``
-        shards the incremental machine pass across processes;
+        shards the incremental machine pass across processes and
+        ``join_pool`` picks the reused shared pool (default) or the
+        legacy fork-per-batch pool for those shards;
         ``checkpoint_dir`` / ``checkpoint_every_batches`` make the session
         durable (write-ahead journal plus periodic snapshots);
         ``vote_mode`` is forced to ``"per-pair"``
@@ -257,6 +259,7 @@ class StreamingResolver:
             backend=self.config.join_backend,
             cross_sources=cross_sources,
             workers=self.config.join_workers or None,
+            pool_mode=self.config.join_pool,
             storage=self.storage,
         )
         self.store = RecordStore(name="stream", backing=self.storage)
@@ -1040,6 +1043,7 @@ class StreamingResolver:
                 backend=self.config.join_backend,
                 cross_sources=self.cross_sources,
                 workers=self.config.join_workers or None,
+                pool_mode=self.config.join_pool,
             )
             self.provenance = ProvenanceLedger.from_store(storage)
             self.candidates = PairSet(

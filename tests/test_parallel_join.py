@@ -34,6 +34,14 @@ from repro.simjoin.columnar import (
     per_record_csr_arrays,
 )
 from repro.simjoin.parallel import ParallelSimJoin, shard_bounds
+from repro.simjoin.pool import (
+    DEFAULT_POOL_MODE,
+    POOL_MODES,
+    active_pools,
+    resolve_pool_mode,
+    shared_pool,
+    shutdown_pools,
+)
 from repro.simjoin.vectorized import HAVE_SCIPY, VectorizedSimJoin
 from repro.streaming.incremental_join import IncrementalSimJoin
 from repro.streaming.session import resolve_stream
@@ -148,6 +156,115 @@ class TestAutoHeuristic:
         )
         assert auto.name == "parallel"
         assert auto.workers == 2
+
+
+# ------------------------------------------------------------- reused pool
+class TestReusedPool:
+    """The long-lived pool: same workers across batches, same answers."""
+
+    def _halves(self, seed=5):
+        dataset = RestaurantGenerator(
+            record_count=200, duplicate_pairs=30, seed=seed
+        ).generate()
+        records = list(dataset.store)
+        halves = []
+        for chunk in (records[:100], records[100:]):
+            store = RecordStore()
+            for record in chunk:
+                store.add(record)
+            halves.append(store)
+        return halves
+
+    def test_pool_mode_resolution_and_validation(self):
+        assert resolve_pool_mode(None) == DEFAULT_POOL_MODE
+        for mode in POOL_MODES:
+            assert resolve_pool_mode(mode) == mode
+        with pytest.raises(ValueError):
+            resolve_pool_mode("threads")
+        with pytest.raises(ValueError):
+            ParallelSimJoin(pool_mode="threads")
+
+    def test_worker_pids_stable_across_batches(self):
+        """The regression the reused pool exists for: consecutive batches
+        must land on the *same* worker processes, not a fresh fork each."""
+        first, second = self._halves()
+        join = ParallelSimJoin(0.3, block_size=8, workers=2, pool_mode="reused")
+        join.join(first)
+        pids_after_first = tuple(shared_pool(2).worker_pids())
+        join.join(second)
+        pids_after_second = tuple(shared_pool(2).worker_pids())
+        assert pids_after_first == pids_after_second
+        assert len(set(pids_after_first)) == 2
+        assert all(pid != 0 for pid in pids_after_first)
+
+    @settings(max_examples=6, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(
+        store=random_stores(),
+        threshold=st.sampled_from((0.0, 0.3, 0.7)),
+        workers=st.sampled_from((2, 3)),
+    )
+    def test_property_reused_pool_bit_identical_to_fork(self, store, threshold, workers):
+        reused = ParallelSimJoin(
+            threshold, block_size=2, workers=workers, pool_mode="reused"
+        ).join(store)
+        fork = ParallelSimJoin(
+            threshold, block_size=2, workers=workers, pool_mode="fork"
+        ).join(store)
+        assert pair_items(reused) == pair_items(fork)
+
+    def test_no_leaked_shared_memory_blocks(self):
+        """Payload blocks are unlinked as soon as the map returns."""
+        import glob
+
+        first, second = self._halves(seed=21)
+        join = ParallelSimJoin(0.3, block_size=8, workers=2, pool_mode="reused")
+        join.join(first)
+        join.join(second)
+        assert glob.glob("/dev/shm/repro-shard-*") == []
+
+    def test_shutdown_pools_releases_workers(self):
+        first, _second = self._halves(seed=23)
+        ParallelSimJoin(0.3, block_size=8, workers=2, pool_mode="reused").join(first)
+        assert active_pools()
+        shutdown_pools()
+        assert not active_pools()
+        # The registry recovers transparently on the next join.
+        pairs = ParallelSimJoin(
+            0.3, block_size=8, workers=2, pool_mode="reused"
+        ).join(first)
+        assert len(active_pools()) == 1
+        assert pair_items(pairs) == pair_items(
+            VectorizedSimJoin(0.3, block_size=8).join(first)
+        )
+
+    def test_pool_children_metrics_fold_into_parent_snapshot(self):
+        """Shard timings report the reused workers' PIDs and land in the
+        parent registry (children cannot export — their obs copy is inert)."""
+        from repro import obs
+
+        first, _second = self._halves(seed=29)
+        obs.activate()
+        try:
+            ParallelSimJoin(0.3, block_size=8, workers=2, pool_mode="reused").join(first)
+            snapshot = obs.snapshot()
+        finally:
+            obs.deactivate()
+        pool_pids = set(shared_pool(2).worker_pids())
+        shard_count = snapshot.counter_total("simjoin_parallel_shards_total", kind="self")
+        assert shard_count > 0
+        timings = snapshot.get("simjoin_parallel_shard_seconds")
+        assert timings is not None
+        workers_seen = {
+            sample["labels"]["worker"]
+            for sample in timings["samples"]
+            if sample["labels"].get("kind") == "self"
+        }
+        assert workers_seen  # at least one worker reported a timing
+        assert workers_seen <= {str(pid) for pid in pool_pids}
+        assert (
+            snapshot.histogram_count("simjoin_parallel_shard_seconds", kind="self")
+            == shard_count
+        )
 
 
 # ---------------------------------------------------------- columnar build

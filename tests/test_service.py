@@ -1,0 +1,632 @@
+"""Tests for the resolution service (repro.service).
+
+The central contract: a session hosted behind the HTTP API produces —
+event for event — results **bit-identical** to a standalone
+:class:`~repro.streaming.StreamingResolver` replaying the same schedule,
+no matter how many sessions run concurrently, and no matter whether the
+server crashed (SIGKILL) and restored mid-schedule.  On top of that the
+HTTP surface must fail loudly and precisely: every error path has an
+exact status code and a machine-readable error code, and a full shard
+queue answers 429 with a Retry-After instead of buffering without bound.
+"""
+
+import asyncio
+import os
+import subprocess
+import sys
+import threading
+import time
+import uuid
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from strategies import drive, event_schedules
+
+from repro import obs
+from repro.core.config import WorkflowConfig
+from repro.datasets.restaurant import RestaurantGenerator
+from repro.service import ResolutionService, ServiceClient, ServiceClientError
+from repro.service.sessions import encode_result
+from repro.service.shards import ShardExecutor, shard_of
+from repro.streaming import StreamingResolver
+from repro.streaming.persistence import encode_record
+
+ROOT = Path(__file__).resolve().parent.parent
+
+
+def make_config(**overrides):
+    base = dict(
+        likelihood_threshold=0.35, vote_mode="per-pair", aggregation="majority"
+    )
+    base.update(overrides)
+    return WorkflowConfig(**base)
+
+
+#: The service-side twin of :func:`make_config` (vote_mode is forced
+#: server-side, so it is not part of the wire payload).
+SERVICE_CONFIG = {"likelihood_threshold": 0.35, "aggregation": "majority"}
+
+
+def make_dataset(seed, record_count=40, duplicate_pairs=8):
+    return RestaurantGenerator(
+        record_count=record_count, duplicate_pairs=duplicate_pairs, seed=seed
+    ).generate()
+
+
+def fresh_id(prefix):
+    return f"{prefix}-{uuid.uuid4().hex[:12]}"
+
+
+class ServiceThread:
+    """An in-process service on its own event loop thread (ephemeral port)."""
+
+    def __init__(self, **kwargs):
+        kwargs.setdefault("port", 0)
+        self.service = ResolutionService(**kwargs)
+        self.loop = asyncio.new_event_loop()
+        self._ready = threading.Event()
+        self.thread = threading.Thread(target=self._run, daemon=True)
+
+    def _run(self):
+        asyncio.set_event_loop(self.loop)
+        self.loop.run_until_complete(self.service.start())
+        self._ready.set()
+        self.loop.run_forever()
+
+    def start(self) -> ServiceClient:
+        self.thread.start()
+        assert self._ready.wait(30), "service failed to start"
+        return ServiceClient("127.0.0.1", self.service.port)
+
+    def submit(self, coroutine):
+        """Schedule a coroutine on the service loop; returns a Future."""
+        return asyncio.run_coroutine_threadsafe(coroutine, self.loop)
+
+    def stop(self):
+        self.submit(self.service.stop()).result(60)
+        self.loop.call_soon_threadsafe(self.loop.stop)
+        self.thread.join(30)
+
+
+@pytest.fixture(scope="module")
+def service():
+    runner = ServiceThread(shard_count=2, queue_depth=16)
+    client = runner.start()
+    yield runner, client
+    runner.stop()
+
+
+def drive_over_http(client, session_id, records, schedule, mirror, cursor=0):
+    """Apply a :func:`strategies.event_schedules` schedule over HTTP.
+
+    Mirrors :func:`strategies.drive` exactly — ``mirror`` tracks the
+    resident records client-side (the HTTP API does not expose record
+    ids), so retract/update target the same records ``drive`` would.
+    """
+    for action, argument in schedule:
+        if action == "batch":
+            batch = records[cursor : cursor + argument]
+            cursor += argument
+            if batch:
+                client.append(session_id, [encode_record(r) for r in batch])
+                mirror.update({record.record_id: record for record in batch})
+        elif action == "retract":
+            resident = sorted(mirror)
+            if resident:
+                record_id = resident[argument % len(resident)]
+                client.retract(session_id, record_id)
+                del mirror[record_id]
+        elif action == "update":
+            resident = sorted(mirror)
+            if resident:
+                record_id = resident[argument % len(resident)]
+                revised = mirror[record_id].with_attributes(
+                    name=f"revision {argument}"
+                )
+                client.update(session_id, encode_record(revised))
+                mirror[record_id] = revised
+        elif action == "flush":
+            client.flush(session_id)
+    return cursor
+
+
+def standalone_result(records, truth, schedule):
+    """The schedule replayed on a resolver that never saw the network."""
+    resolver = StreamingResolver(config=make_config())
+    if truth:
+        resolver.add_truth(truth)
+    drive(resolver, records, schedule)
+    return encode_result(resolver.snapshot())
+
+
+# ------------------------------------------------------------ HTTP surface
+class TestHttpSurface:
+    def test_health(self, service):
+        _runner, client = service
+        payload = client.health()
+        assert payload["status"] == "ok"
+        assert payload["queue_depths"] == [0, 0]
+
+    def test_resolve_round_trip_matches_standalone(self, service):
+        _runner, client = service
+        dataset = make_dataset(seed=17)
+        records = list(dataset.store)[:25]
+        truth = [list(pair) for pair in dataset.ground_truth]
+        session_id = fresh_id("round")
+        created = client.create_session(
+            session_id, config=SERVICE_CONFIG, truth=truth
+        )
+        assert created["session_id"] == session_id
+        assert created["records"] == 0
+        client.append(session_id, [encode_record(r) for r in records])
+        served = client.flush(session_id)
+        resolver = StreamingResolver(config=make_config())
+        resolver.add_truth(dataset.ground_truth)
+        resolver.add_batch(records)
+        expected = encode_result(resolver.flush())
+        assert served == expected  # bit-identical floats over the wire
+        assert client.result(session_id) == expected
+        status = client.status(session_id)
+        assert status["records"] == len(records)
+        assert not status["durable"]
+        assert session_id in {
+            entry["session_id"] for entry in client.list_sessions()
+        }
+        client.close(session_id)
+
+    def test_unknown_route_is_404(self, service):
+        _runner, client = service
+        status, _headers, body = client.request("GET", "/bogus")
+        assert status == 404
+        assert body["error"]["code"] == "not_found"
+        # Wrong method on a real path is a 404 too (no route).
+        status, _headers, body = client.request("DELETE", "/healthz")
+        assert status == 404
+
+    def test_malformed_json_body_is_400(self, service):
+        _runner, client = service
+        status, _headers, body = client.raw("POST", "/sessions", b"{not json")
+        assert status == 400
+        assert body["error"]["code"] == "bad_request"
+        assert "malformed JSON body" in body["error"]["message"]
+
+    def test_non_object_body_is_400(self, service):
+        _runner, client = service
+        status, _headers, body = client.raw("POST", "/sessions", b"[1, 2]")
+        assert status == 400
+        assert body["error"]["code"] == "bad_request"
+        assert "JSON object" in body["error"]["message"]
+
+    def test_invalid_config_is_400(self, service):
+        _runner, client = service
+        for config in ({"no_such_knob": 1}, {"likelihood_threshold": 2.0}):
+            with pytest.raises(ServiceClientError) as caught:
+                client.create_session(fresh_id("bad"), config=config)
+            assert caught.value.status == 400
+            assert caught.value.code == "bad_request"
+            assert "invalid config" in caught.value.body["error"]["message"]
+
+    def test_record_without_id_is_400(self, service):
+        _runner, client = service
+        session_id = fresh_id("badrec")
+        client.create_session(session_id, config=SERVICE_CONFIG)
+        with pytest.raises(ServiceClientError) as caught:
+            client.append(session_id, [{"attributes": {"name": "x"}}])
+        assert caught.value.status == 400
+        assert caught.value.code == "bad_request"
+        client.close(session_id)
+
+    def test_unknown_session_is_404(self, service):
+        _runner, client = service
+        for method, path, payload in (
+            ("GET", "/sessions/nope", None),
+            ("GET", "/sessions/nope/result", None),
+            ("POST", "/sessions/nope/batch", {"records": []}),
+            ("POST", "/sessions/nope/flush", {}),
+            ("DELETE", "/sessions/nope", None),
+        ):
+            status, _headers, body = client.request(method, path, payload)
+            assert status == 404, (method, path)
+            assert body["error"]["code"] == "unknown_session"
+
+    def test_append_after_close_is_409(self, service):
+        _runner, client = service
+        session_id = fresh_id("closed")
+        client.create_session(session_id, config=SERVICE_CONFIG)
+        client.close(session_id)
+        for method, path, payload in (
+            ("POST", f"/sessions/{session_id}/batch", {"records": []}),
+            ("POST", f"/sessions/{session_id}/flush", {}),
+            ("GET", f"/sessions/{session_id}/result", None),
+            ("DELETE", f"/sessions/{session_id}", None),
+        ):
+            status, _headers, body = client.request(method, path, payload)
+            assert status == 409, (method, path)
+            assert body["error"]["code"] == "session_closed"
+        # Status stays readable after close — the final counters survive.
+        status_payload = client.status(session_id)
+        assert status_payload["closed"] is True
+
+    def test_duplicate_create_is_409(self, service):
+        _runner, client = service
+        session_id = fresh_id("dup")
+        client.create_session(session_id, config=SERVICE_CONFIG)
+        with pytest.raises(ServiceClientError) as caught:
+            client.create_session(session_id, config=SERVICE_CONFIG)
+        assert caught.value.status == 409
+        assert caught.value.code == "session_exists"
+        client.close(session_id)
+
+    def test_restore_of_open_session_is_409_resume_conflict(self, service, tmp_path):
+        _runner, client = service
+        session_id = fresh_id("open")
+        client.create_session(session_id, config=SERVICE_CONFIG)
+        with pytest.raises(ServiceClientError) as caught:
+            client.restore(session_id, str(tmp_path))
+        assert caught.value.status == 409
+        assert caught.value.code == "resume_conflict"
+        client.close(session_id)
+
+    def test_restore_without_checkpoint_dir_is_400(self, service):
+        _runner, client = service
+        status, _headers, body = client.request(
+            "POST", f"/sessions/{fresh_id('r')}/restore", {}
+        )
+        assert status == 400
+        assert "checkpoint_dir" in body["error"]["message"]
+
+    def test_restore_from_empty_dir_is_409_resume_conflict(self, service, tmp_path):
+        _runner, client = service
+        with pytest.raises(ServiceClientError) as caught:
+            client.restore(fresh_id("void"), str(tmp_path))
+        assert caught.value.status == 409
+        assert caught.value.code == "resume_conflict"
+
+    def test_metrics_endpoint_is_503_when_disabled(self, service):
+        _runner, client = service
+        assert not obs.enabled()
+        status, _headers, body = client.request("GET", "/metrics")
+        assert status == 503
+        assert body["error"]["code"] == "metrics_disabled"
+
+
+# ------------------------------------------------------------ backpressure
+class TestBackpressure:
+    def test_full_shard_queue_is_429_with_retry_after(self):
+        runner = ServiceThread(shard_count=1, queue_depth=1)
+        client = runner.start()
+        blocker = threading.Event()
+        occupied = threading.Event()
+        try:
+            session_id = "bp"
+            client.create_session(session_id, config=SERVICE_CONFIG)
+
+            def block():
+                occupied.set()
+                blocker.wait(30)
+
+            shards = runner.service.shards
+            # Occupy the shard thread, then fill its depth-1 queue.
+            busy = runner.submit(shards.submit(session_id, block))
+            assert occupied.wait(10)
+            queued = runner.submit(shards.submit(session_id, lambda: None))
+            deadline = time.monotonic() + 10
+            while shards.queue_depths() != [1]:
+                assert time.monotonic() < deadline, "queue never filled"
+                time.sleep(0.01)
+            status, headers, body = client.request(
+                "POST",
+                f"/sessions/{session_id}/batch",
+                {"records": [{"record_id": "x", "attributes": {"name": "x"}}]},
+            )
+            assert status == 429
+            assert body["error"]["code"] == "backpressure"
+            assert headers.get("Retry-After") == "1"
+            blocker.set()
+            busy.result(30)
+            queued.result(30)
+            # The shard recovered: the same request now succeeds.
+            payload = client.append(
+                session_id,
+                [{"record_id": "x", "attributes": {"name": "x"}}],
+            )
+            assert payload["candidate_count"] == 0
+            client.close(session_id)
+        finally:
+            blocker.set()
+            runner.stop()
+
+
+# ------------------------------------------------------- sharded execution
+class TestShardExecutor:
+    def test_shard_of_is_stable_and_in_range(self):
+        for key in ("a", "session-42", "", "ünïcode"):
+            for count in (1, 2, 7):
+                index = shard_of(key, count)
+                assert 0 <= index < count
+                assert index == shard_of(key, count)
+
+    def test_same_key_serializes_in_submission_order(self):
+        async def scenario():
+            executor = ShardExecutor(shard_count=4, queue_depth=64)
+            await executor.start()
+            seen = []
+
+            def record(i):
+                seen.append(i)
+                return i
+
+            results = await asyncio.gather(
+                *[executor.submit("one-key", record, i) for i in range(25)]
+            )
+            await executor.shutdown()
+            return seen, results
+
+        seen, results = asyncio.run(scenario())
+        assert seen == list(range(25))
+        assert results == list(range(25))
+
+    def test_independent_shards_run_concurrently(self):
+        async def scenario():
+            executor = ShardExecutor(shard_count=2, queue_depth=4)
+            await executor.start()
+            key_a = "a"
+            key_b = next(
+                k
+                for k in (f"k{i}" for i in range(64))
+                if shard_of(k, 2) != shard_of(key_a, 2)
+            )
+            # Both tasks must be in flight at once to pass the barrier:
+            # serialized execution would deadlock (and trip the timeout).
+            barrier = threading.Barrier(2, timeout=10)
+            await asyncio.gather(
+                executor.submit(key_a, barrier.wait),
+                executor.submit(key_b, barrier.wait),
+            )
+            await executor.shutdown()
+
+        asyncio.run(scenario())
+
+    def test_worker_exception_is_relayed_to_the_caller(self):
+        async def scenario():
+            executor = ShardExecutor(shard_count=1, queue_depth=4)
+            await executor.start()
+
+            def explode():
+                raise ValueError("boom")
+
+            with pytest.raises(ValueError, match="boom"):
+                await executor.submit("k", explode)
+            # The shard survives its task's exception.
+            assert await executor.submit("k", lambda: 7) == 7
+            await executor.shutdown()
+
+        asyncio.run(scenario())
+
+
+# ------------------------------------------- concurrency property (bit-id)
+class TestServiceEqualsStandalone:
+    @settings(
+        max_examples=6,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(
+        schedules=st.lists(
+            event_schedules(min_size=2, max_size=5), min_size=2, max_size=3
+        )
+    )
+    def test_property_interleaved_sessions_match_standalone_replay(
+        self, service, schedules
+    ):
+        """K concurrent sessions, arbitrary schedules, exact equality.
+
+        Each session runs its own random schedule from a worker thread so
+        requests genuinely interleave on the server; afterwards every
+        session's snapshot must equal — to the float bit — a standalone
+        resolver replaying the same schedule in isolation.
+        """
+        _runner, client = service
+
+        def run_one(index, schedule):
+            dataset = make_dataset(seed=101 + index)
+            records = list(dataset.store)
+            truth = [list(pair) for pair in dataset.ground_truth]
+            session_id = fresh_id(f"prop{index}")
+            client.create_session(session_id, config=SERVICE_CONFIG, truth=truth)
+            drive_over_http(client, session_id, records, schedule, mirror={})
+            served = client.result(session_id)
+            client.close(session_id)
+            return served, standalone_result(
+                records, dataset.ground_truth, schedule
+            )
+
+        with ThreadPoolExecutor(max_workers=len(schedules)) as pool:
+            futures = [
+                pool.submit(run_one, index, schedule)
+                for index, schedule in enumerate(schedules)
+            ]
+            outcomes = [future.result(timeout=120) for future in futures]
+        for served, expected in outcomes:
+            assert served == expected
+
+
+# ------------------------------------------------------------ durability
+class TestDurability:
+    def test_graceful_stop_saves_durable_sessions(self, tmp_path):
+        runner = ServiceThread(shard_count=2, queue_depth=8)
+        client = runner.start()
+        checkpoint = tmp_path / "ckpt"
+        dataset = make_dataset(seed=7)
+        records = list(dataset.store)[:20]
+        config = dict(SERVICE_CONFIG, checkpoint_dir=str(checkpoint))
+        client.create_session(
+            "durable",
+            config=config,
+            truth=[list(pair) for pair in dataset.ground_truth],
+        )
+        client.append("durable", [encode_record(r) for r in records])
+        served = client.result("durable")
+        assert client.status("durable")["durable"] is True
+        runner.stop()  # graceful: must save() the session on its shard
+        restored = StreamingResolver.restore(str(checkpoint))
+        assert encode_result(restored.snapshot()) == served
+
+    def test_explicit_save_endpoint_checkpoints_now(self, tmp_path):
+        runner = ServiceThread(shard_count=1, queue_depth=8)
+        client = runner.start()
+        try:
+            checkpoint = tmp_path / "saved"
+            config = dict(SERVICE_CONFIG, checkpoint_dir=str(checkpoint))
+            client.create_session("saver", config=config)
+            client.append(
+                "saver",
+                [{"record_id": "a", "attributes": {"name": "ipad 16gb"}}],
+            )
+            payload = client.save("saver")
+            assert payload["session_id"] == "saver"
+            assert Path(payload["saved_to"]).exists()
+        finally:
+            runner.stop()
+
+
+# --------------------------------------------------------- crash / restart
+#: A fixed schedule in the `strategies.drive` format, covering every event
+#: type on both sides of the kill point.
+CRASH_SCHEDULE = [
+    ("batch", 12),
+    ("retract", 3),
+    ("batch", 8),
+    ("update", 5),
+    ("flush", 0),
+    ("batch", 10),
+    ("retract", 1),
+    ("flush", 0),
+]
+CRASH_AT = 5  # SIGKILL lands after the first flush
+
+
+class TestCrashRestart:
+    def _spawn(self, tmp_path, name):
+        port_file = tmp_path / f"{name}.port"
+        env = dict(os.environ)
+        env["PYTHONPATH"] = (
+            str(ROOT / "src") + os.pathsep + env.get("PYTHONPATH", "")
+        )
+        process = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro.cli", "serve",
+                "--port", "0", "--port-file", str(port_file), "--shards", "2",
+            ],
+            env=env,
+            stdout=subprocess.DEVNULL,
+            stderr=subprocess.DEVNULL,
+        )
+        deadline = time.monotonic() + 90
+        while not port_file.exists():
+            assert process.poll() is None, "server process died during startup"
+            assert time.monotonic() < deadline, "server did not start in time"
+            time.sleep(0.05)
+        return process, ServiceClient("127.0.0.1", int(port_file.read_text()))
+
+    def test_sigkill_midschedule_then_restore_completes_identically(self, tmp_path):
+        """SIGKILL the server mid-schedule; every session must restore from
+        its journal on a fresh server and finish bit-identical to an
+        uninterrupted standalone run (no save() ever ran: kill -9 skips
+        the graceful-shutdown checkpoint on purpose)."""
+        sessions = {}
+        for index in range(2):
+            dataset = make_dataset(seed=31 + index)
+            sessions[f"crash-{index}"] = {
+                "records": list(dataset.store),
+                "truth": dataset.ground_truth,
+                "dir": tmp_path / f"ckpt-{index}",
+                "mirror": {},
+            }
+        process, client = self._spawn(tmp_path, "first")
+        try:
+            for session_id, state in sessions.items():
+                client.create_session(
+                    session_id,
+                    config=dict(SERVICE_CONFIG, checkpoint_dir=str(state["dir"])),
+                    truth=[list(pair) for pair in state["truth"]],
+                )
+                state["cursor"] = drive_over_http(
+                    client,
+                    session_id,
+                    state["records"],
+                    CRASH_SCHEDULE[:CRASH_AT],
+                    state["mirror"],
+                )
+            process.kill()  # SIGKILL: no shutdown hook, no save()
+            process.wait(30)
+        finally:
+            if process.poll() is None:
+                process.kill()
+                process.wait(30)
+
+        process, client = self._spawn(tmp_path, "second")
+        try:
+            for session_id, state in sessions.items():
+                restored = client.restore(session_id, str(state["dir"]))
+                assert restored["records"] == len(state["mirror"])
+                drive_over_http(
+                    client,
+                    session_id,
+                    state["records"],
+                    CRASH_SCHEDULE[CRASH_AT:],
+                    state["mirror"],
+                    cursor=state["cursor"],
+                )
+                served = client.result(session_id)
+                assert served == standalone_result(
+                    state["records"], state["truth"], CRASH_SCHEDULE
+                )
+                client.close(session_id)
+        finally:
+            process.terminate()  # SIGTERM: graceful shutdown path
+            assert process.wait(60) == 0
+
+
+# ------------------------------------------------------------ observability
+class TestServiceMetrics:
+    def test_prometheus_scrape_reports_requests_and_queues(self):
+        obs.activate()
+        try:
+            runner = ServiceThread(shard_count=2, queue_depth=8)
+            client = runner.start()
+            try:
+                session_id = fresh_id("metrics")
+                client.create_session(session_id, config=SERVICE_CONFIG)
+                client.append(
+                    session_id,
+                    [{"record_id": "a", "attributes": {"name": "ipad"}}],
+                )
+                client.close(session_id)
+                text = client.metrics_text()
+                assert "service_requests_total" in text
+                assert "service_request_seconds" in text
+                assert "service_queue_depth" in text
+                snapshot = obs.snapshot()
+                assert (
+                    snapshot.counter_total(
+                        "service_requests_total",
+                        route="/sessions/{id}/batch",
+                        status=200,
+                    )
+                    == 1
+                )
+                assert (
+                    snapshot.counter_total(
+                        "service_requests_total", route="/sessions", method="POST"
+                    )
+                    == 1
+                )
+            finally:
+                runner.stop()
+        finally:
+            obs.deactivate()
